@@ -1,0 +1,362 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per figure
+// and table, plus micro-benchmarks and the ablations listed in DESIGN.md §5.
+//
+// The figure benchmarks run reduced Monte-Carlo sizes per op so `go test
+// -bench=.` stays tractable; cmd/simfigs runs the full 10000-iteration
+// studies. Quality metrics (mean makespans, hit counts) are attached via
+// b.ReportMetric so the paper's orderings are visible straight from the
+// bench output.
+package gridbcast
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/experiment"
+	"repro/internal/intracluster"
+	"repro/internal/mpi"
+	"repro/internal/plogp"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+// benchMC is the reduced Monte-Carlo configuration used per benchmark op.
+func benchMC() experiment.MonteCarlo {
+	return experiment.MonteCarlo{Iterations: 100, Seed: 42, Workers: 1}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (mean completion, 2–10 clusters).
+func BenchmarkFig1(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchMC().Fig1()
+	}
+	reportSeries(b, fig, "FlatTree", "ECEF-LA")
+}
+
+// BenchmarkFig2 regenerates Figure 2 (mean completion, 5–50 clusters).
+func BenchmarkFig2(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchMC().Fig2()
+	}
+	reportSeries(b, fig, "FlatTree", "ECEF")
+}
+
+// BenchmarkFig3 regenerates Figure 3 (ECEF family close-up).
+func BenchmarkFig3(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchMC().Fig3()
+	}
+	reportSeries(b, fig, "ECEF", "ECEF-LAT")
+}
+
+// BenchmarkFig4 regenerates Figure 4 (hit rates vs the global minimum).
+func BenchmarkFig4(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchMC().Fig4()
+	}
+	if s := fig.SeriesByName("ECEF-LAT"); s != nil {
+		last := s.Points[len(s.Points)-1]
+		b.ReportMetric(last.Y, "LAT-hits@50")
+	}
+	if s := fig.SeriesByName("ECEF"); s != nil {
+		last := s.Points[len(s.Points)-1]
+		b.ReportMetric(last.Y, "ECEF-hits@50")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (predicted time vs message size,
+// 88-machine grid).
+func BenchmarkFig5(b *testing.B) {
+	var fig *experiment.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.Fig5(experiment.PracticalConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLastPoint(b, fig, "FlatTree", "flat@4.5MB")
+	reportLastPoint(b, fig, "ECEF", "ecef@4.5MB")
+}
+
+// BenchmarkFig6 regenerates Figure 6 (measured time vs message size,
+// including the grid-unaware binomial). Fewer sizes per op: each point
+// simulates all 88 machines message-by-message.
+func BenchmarkFig6(b *testing.B) {
+	cfg := experiment.PracticalConfig{Sizes: []int64{1 << 20, 4 << 20}}
+	var fig *experiment.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLastPoint(b, fig, "Default LAM", "lam@4MB")
+	reportLastPoint(b, fig, "ECEF-LAT", "lat@4MB")
+}
+
+// BenchmarkTable3 regenerates Table 3 (Lowekamp clustering of 88 machines)
+// with ±0.5% measurement jitter. The jitter is kept below the platform's
+// own margin: the Orsay-a/Orsay-b boundary sits only 0.57% inside the
+// ρ=30% tolerance (62.10 µs vs 1.3057·47.56 µs), so at ±1% a small
+// fraction of random matrices legitimately merge the two clusters — a
+// knife-edge of the paper's chosen tolerance, not of the algorithm
+// (verified robust at ±0.5% across 1000 seeds; see EXPERIMENTS.md).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table3(0.3, 0.005, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.MatchesPaper {
+			b.Fatalf("partition diverged from Table 3 at seed %d", i)
+		}
+	}
+}
+
+// BenchmarkScheduler measures schedule-construction cost per heuristic and
+// cluster count — the §7 concern that elaborate heuristics (ECEF-LAT) add
+// scheduling overhead to MPI_Bcast.
+func BenchmarkScheduler(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		p := sched.MustProblem(topology.RandomGrid(stats.NewRand(1), n), 0, 1<<20, sched.Options{})
+		for _, h := range sched.Paper() {
+			b.Run(fmt.Sprintf("%s/n=%d", h.Name(), n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					h.Schedule(p)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationFEFWeight compares FEF's two edge weights (paper default
+// latency-only vs full g+L) by mean makespan at 20 clusters.
+func BenchmarkAblationFEFWeight(b *testing.B) {
+	for _, h := range []sched.Heuristic{sched.FEF{}, sched.FEF{Weight: sched.WeightFull}} {
+		b.Run(h.Name(), func(b *testing.B) {
+			var acc stats.Accumulator
+			for i := 0; i < b.N; i++ {
+				r := stats.NewRand(stats.SplitSeed(7, int64(i)))
+				p := sched.MustProblem(topology.RandomGrid(r, 20), 0, 1<<20, sched.Options{Overlap: true})
+				acc.Add(h.Schedule(p).Makespan)
+			}
+			b.ReportMetric(acc.Mean(), "mean-makespan-s")
+		})
+	}
+}
+
+// BenchmarkAblationOverlap compares the two completion models (§3 strict
+// vs §5.2 overlap) on the ECEF-LAT heuristic.
+func BenchmarkAblationOverlap(b *testing.B) {
+	for _, overlap := range []bool{false, true} {
+		b.Run(fmt.Sprintf("overlap=%v", overlap), func(b *testing.B) {
+			var acc stats.Accumulator
+			for i := 0; i < b.N; i++ {
+				r := stats.NewRand(stats.SplitSeed(11, int64(i)))
+				p := sched.MustProblem(topology.RandomGrid(r, 20), 0, 1<<20, sched.Options{Overlap: overlap})
+				acc.Add(sched.ECEFLAT().Schedule(p).Makespan)
+			}
+			b.ReportMetric(acc.Mean(), "mean-makespan-s")
+		})
+	}
+}
+
+// BenchmarkAblationSymmetry compares independent vs symmetric random link
+// draws (the paper does not specify which it uses).
+func BenchmarkAblationSymmetry(b *testing.B) {
+	for _, sym := range []bool{false, true} {
+		b.Run(fmt.Sprintf("symmetric=%v", sym), func(b *testing.B) {
+			mc := experiment.MonteCarlo{Iterations: 50, Seed: 3, Workers: 1, Symmetric: sym}
+			var fig *experiment.Figure
+			for i := 0; i < b.N; i++ {
+				fig = mc.Fig3()
+			}
+			reportLastPoint(b, fig, "ECEF-LAT", "lat@50")
+		})
+	}
+}
+
+// BenchmarkOptimalSearch measures the branch-and-bound exhaustive search,
+// the reason the paper resorts to the "global minimum" reference.
+func BenchmarkOptimalSearch(b *testing.B) {
+	for _, n := range []int{5, 6, 7} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := sched.MustProblem(topology.RandomGrid(stats.NewRand(2), n), 0, 1<<20, sched.Options{})
+			for i := 0; i < b.N; i++ {
+				sched.Optimal{}.Schedule(p)
+			}
+		})
+	}
+}
+
+// BenchmarkIntraTrees compares the intra-cluster broadcast tree shapes for
+// a 64-node cluster (DESIGN.md §5 ablation).
+func BenchmarkIntraTrees(b *testing.B) {
+	params := plogp.FromBandwidth(5e-5, 5e-5, 100e6)
+	for _, shape := range intracluster.Shapes {
+		b.Run(shape.String(), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = intracluster.Predict(shape, 64, params, 1<<20)
+			}
+			b.ReportMetric(t, "predicted-T-s")
+		})
+	}
+}
+
+// BenchmarkMPIExecution measures one full 88-machine message-level
+// execution of an ECEF-LAT schedule.
+func BenchmarkMPIExecution(b *testing.B) {
+	g := topology.Grid5000()
+	p := sched.MustProblem(g, 0, 1<<20, sched.Options{})
+	sc := sched.ECEFLAT().Schedule(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpi.ExecuteSchedule(g, sc, 1<<20, mpi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefine measures the local-search improver (DESIGN.md §5): cost
+// of refinement and the quality it buys over raw ECEF-LA at 8 clusters.
+func BenchmarkRefine(b *testing.B) {
+	for _, refine := range []bool{false, true} {
+		name := "raw"
+		if refine {
+			name = "refined"
+		}
+		b.Run(name, func(b *testing.B) {
+			var acc stats.Accumulator
+			for i := 0; i < b.N; i++ {
+				r := stats.NewRand(stats.SplitSeed(13, int64(i)))
+				p := sched.MustProblem(topology.RandomGrid(r, 8), 0, 1<<20, sched.Options{})
+				var sc *sched.Schedule
+				if refine {
+					sc = sched.Refined{Base: sched.ECEFLA()}.Schedule(p)
+				} else {
+					sc = sched.ECEFLA().Schedule(p)
+				}
+				acc.Add(sc.Makespan)
+			}
+			b.ReportMetric(acc.Mean(), "mean-makespan-s")
+		})
+	}
+}
+
+// BenchmarkRootRotation quantifies §4.1's remark that the flat tree is
+// fragile when applications rotate the broadcast root: reported metric is
+// the relative spread (max/min) of the makespan across the six possible
+// root clusters of the Table 3 grid.
+func BenchmarkRootRotation(b *testing.B) {
+	g := topology.Grid5000()
+	for _, h := range []sched.Heuristic{sched.FlatTree{}, sched.ECEFLAT()} {
+		b.Run(h.Name(), func(b *testing.B) {
+			var spread float64
+			for i := 0; i < b.N; i++ {
+				lo, hi := 0.0, 0.0
+				for root := 0; root < g.N(); root++ {
+					p := sched.MustProblem(g, root, 1<<20, sched.Options{})
+					m := h.Schedule(p).Makespan
+					if root == 0 || m < lo {
+						lo = m
+					}
+					if m > hi {
+						hi = m
+					}
+				}
+				spread = hi / lo
+			}
+			b.ReportMetric(spread, "max/min")
+		})
+	}
+}
+
+// BenchmarkCollectives measures the §8-future-work patterns on the
+// 88-machine grid: scheduling plus full message-level execution.
+func BenchmarkCollectives(b *testing.B) {
+	g := topology.Grid5000()
+	plan, err := collective.NewPlan(g, 0, 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scatter-LTF", func(b *testing.B) {
+		strat := collective.Direct{Order: collective.OrderLongestTail}
+		for i := 0; i < b.N; i++ {
+			sc := strat.Schedule(plan)
+			if _, err := collective.ExecuteScatter(plan, sc, vnet.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gather-ready", func(b *testing.B) {
+		strat := collective.Gather{Order: collective.GatherEarliestReady}
+		for i := 0; i < b.N; i++ {
+			sc := strat.Schedule(plan)
+			if _, err := collective.ExecuteGather(plan, sc, vnet.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("alltoall-ring", func(b *testing.B) {
+		ap, err := collective.NewAllToAllPlan(g, 1<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sc := collective.RingAllToAll{}.Schedule(ap)
+			if _, err := collective.ExecuteAllToAll(ap, sc, vnet.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimKernel measures raw event throughput of the discrete-event
+// kernel (ping-pong between two processes).
+func BenchmarkSimKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.New()
+		a2b, b2a := sim.NewChan(env), sim.NewChan(env)
+		env.Process("a", func(p *sim.Proc) {
+			for k := 0; k < 1000; k++ {
+				a2b.SendAfter(0.001, k)
+				b2a.Recv(p)
+			}
+		})
+		env.Process("b", func(p *sim.Proc) {
+			for k := 0; k < 1000; k++ {
+				a2b.Recv(p)
+				b2a.SendAfter(0.001, k)
+			}
+		})
+		env.Run()
+	}
+	b.ReportMetric(float64(b.N*2000), "events")
+}
+
+func reportSeries(b *testing.B, fig *experiment.Figure, names ...string) {
+	b.Helper()
+	for _, name := range names {
+		reportLastPoint(b, fig, name, name+"-s")
+	}
+}
+
+func reportLastPoint(b *testing.B, fig *experiment.Figure, series, metric string) {
+	b.Helper()
+	s := fig.SeriesByName(series)
+	if s == nil || len(s.Points) == 0 {
+		b.Fatalf("missing series %s", series)
+	}
+	b.ReportMetric(s.Points[len(s.Points)-1].Y, metric)
+}

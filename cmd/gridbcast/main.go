@@ -1,0 +1,112 @@
+// Command gridbcast schedules one broadcast on a grid platform and prints
+// the schedule, an ASCII Gantt chart and the predicted vs simulated
+// makespans.
+//
+// Usage:
+//
+//	gridbcast [-grid file.json] [-heuristic ECEF-LAT] [-root 0]
+//	          [-size 1048576] [-all] [-gantt] [-csv]
+//
+// Without -grid it uses the paper's 88-machine GRID5000 platform (Table 3).
+// With -all it compares every heuristic instead of printing one schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		gridPath  = flag.String("grid", "", "platform JSON file (default: built-in GRID5000 / Table 3)")
+		heuristic = flag.String("heuristic", "ECEF-LAT", "scheduling heuristic (see -list)")
+		root      = flag.Int("root", 0, "root cluster index")
+		size      = flag.Int64("size", 1<<20, "message size in bytes")
+		all       = flag.Bool("all", false, "compare every heuristic")
+		gantt     = flag.Bool("gantt", true, "print an ASCII Gantt chart")
+		csvOut    = flag.Bool("csv", false, "print the schedule as CSV instead of a table")
+		list      = flag.Bool("list", false, "list available heuristics and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, h := range append(sched.Paper(), sched.Mixed{}, sched.FEF{Weight: sched.WeightFull}) {
+			fmt.Println(h.Name())
+		}
+		return
+	}
+
+	g := topology.Grid5000()
+	if *gridPath != "" {
+		var err error
+		g, err = topology.LoadFile(*gridPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *all {
+		compareAll(g, *root, *size)
+		return
+	}
+
+	h, ok := sched.ByName(*heuristic)
+	if !ok {
+		fatal(fmt.Errorf("unknown heuristic %q (try -list)", *heuristic))
+	}
+	p, err := sched.NewProblem(g, *root, *size, sched.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	sc := h.Schedule(p)
+
+	if *csvOut {
+		if err := trace.WriteCSV(os.Stdout, sc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(trace.Table(sc, g))
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(sc, g, 72))
+	}
+	res, err := mpi.ExecuteSchedule(g, sc, *size, mpi.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\npredicted makespan: %.4fs   simulated makespan: %.4fs   messages: %d\n",
+		sc.Makespan, res.Makespan, res.Messages)
+}
+
+func compareAll(g *topology.Grid, root int, size int64) {
+	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-14s %12s %12s\n", "heuristic", "predicted", "simulated")
+	for _, h := range sched.Paper() {
+		sc := h.Schedule(p)
+		res, err := mpi.ExecuteSchedule(g, sc, size, mpi.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s %11.4fs %11.4fs\n", h.Name(), sc.Makespan, res.Makespan)
+	}
+	res, err := mpi.ExecuteBinomialGridUnaware(g, root, size, mpi.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-14s %12s %11.4fs\n", "Default LAM", "-", res.Makespan)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridbcast:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command plogpfit reproduces the pLogP parameter-acquisition step the
+// paper added to MagPIe (§7, after Kielmann's method): it benchmarks every
+// wide-area link of a platform on the virtual network and prints the true
+// vs reconstructed parameters.
+//
+// Usage:
+//
+//	plogpfit [-grid file.json] [-rounds 10] [-jitter 0.02] [-size 1048576]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/measure"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+func main() {
+	var (
+		gridPath = flag.String("grid", "", "platform JSON (default: built-in GRID5000)")
+		rounds   = flag.Int("rounds", 10, "messages per measurement run")
+		jitter   = flag.Float64("jitter", 0, "network jitter during measurement (e.g. 0.02)")
+		size     = flag.Int64("size", 1<<20, "message size at which to report g(m)")
+	)
+	flag.Parse()
+
+	g := topology.Grid5000()
+	if *gridPath != "" {
+		var err error
+		g, err = topology.LoadFile(*gridPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := measure.Config{
+		Rounds: *rounds,
+		Net:    vnet.Config{Jitter: *jitter, Seed: 1},
+	}
+	fmt.Printf("%-4s %-4s %14s %14s %14s %14s\n",
+		"from", "to", "true L (µs)", "fit L (µs)", "true g (ms)", "fit g (ms)")
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if i == j {
+				continue
+			}
+			truth := g.Inter[i][j]
+			fit, err := measure.Link(truth, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-4d %-4d %14.2f %14.2f %14.3f %14.3f\n",
+				i, j, truth.L*1e6, fit.L*1e6, truth.Gap(*size)*1e3, fit.Gap(*size)*1e3)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plogpfit:", err)
+	os.Exit(1)
+}

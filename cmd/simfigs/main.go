@@ -1,0 +1,120 @@
+// Command simfigs regenerates the paper's evaluation: Figures 1–6 and
+// Table 3.
+//
+// Usage:
+//
+//	simfigs -fig 1 [-iters 10000] [-seed 42] [-out dir] [-plot]
+//	simfigs -fig all -iters 2000
+//	simfigs -table 3 [-rho 0.3] [-jitter 0.01]
+//
+// Each figure is written as a gnuplot-style .dat file plus a CSV in -out
+// (default "results/"), and a textual summary (and with -plot an ASCII
+// chart) goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/experiment"
+	"repro/internal/vnet"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 1..6 or 'all'")
+		table  = flag.Int("table", 0, "table to regenerate: 3")
+		iters  = flag.Int("iters", 10000, "Monte-Carlo iterations (figures 1-4)")
+		seed   = flag.Int64("seed", 42, "random seed")
+		outDir = flag.String("out", "results", "output directory for .dat/.csv files")
+		plot   = flag.Bool("plot", false, "also print ASCII plots")
+		jitter = flag.Float64("jitter", 0, "network jitter for figure 6 and table 3 (e.g. 0.03)")
+		rho    = flag.Float64("rho", 0.3, "clustering tolerance for table 3")
+	)
+	flag.Parse()
+
+	if *fig == "" && *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table == 3 {
+		res, err := experiment.Table3(*rho, *jitter, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Render())
+		if *fig == "" {
+			return
+		}
+	} else if *table != 0 {
+		fatal(fmt.Errorf("unknown table %d (only Table 3 is reproducible)", *table))
+	}
+
+	mc := experiment.MonteCarlo{Iterations: *iters, Seed: *seed}
+	practical := experiment.PracticalConfig{
+		Net: vnet.Config{Jitter: *jitter, Seed: *seed},
+	}
+
+	figs := map[string]func() (*experiment.Figure, error){
+		"1": func() (*experiment.Figure, error) { return mc.Fig1(), nil },
+		"2": func() (*experiment.Figure, error) { return mc.Fig2(), nil },
+		"3": func() (*experiment.Figure, error) { return mc.Fig3(), nil },
+		"4": func() (*experiment.Figure, error) { return mc.Fig4(), nil },
+		"5": func() (*experiment.Figure, error) { return experiment.Fig5(experiment.PracticalConfig{}) },
+		"6": func() (*experiment.Figure, error) { return experiment.Fig6(practical) },
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = []string{"1", "2", "3", "4", "5", "6"}
+	} else {
+		if _, err := strconv.Atoi(*fig); err != nil || figs[*fig] == nil {
+			fatal(fmt.Errorf("unknown figure %q (want 1..6 or all)", *fig))
+		}
+		ids = []string{*fig}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, id := range ids {
+		f, err := figs[id]()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeFigure(f, *outDir); err != nil {
+			fatal(err)
+		}
+		fmt.Print(f.Summary())
+		if *plot {
+			fmt.Print(f.AsciiPlot(18, 64))
+		}
+		fmt.Println()
+	}
+}
+
+func writeFigure(f *experiment.Figure, dir string) error {
+	dat, err := os.Create(filepath.Join(dir, f.ID+".dat"))
+	if err != nil {
+		return err
+	}
+	defer dat.Close()
+	if err := f.WriteDAT(dat); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(dir, f.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	return f.WriteCSV(csv)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simfigs:", err)
+	os.Exit(1)
+}

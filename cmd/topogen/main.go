@@ -1,0 +1,55 @@
+// Command topogen generates random grid platforms with the paper's Table 2
+// parameter distribution and writes them as JSON for gridbcast -grid.
+//
+// Usage:
+//
+//	topogen -n 10 [-seed 1] [-symmetric] [-o grid.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 10, "number of clusters")
+		seed      = flag.Int64("seed", 1, "random seed")
+		symmetric = flag.Bool("symmetric", false, "draw symmetric link matrices")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *n < 1 {
+		fatal(fmt.Errorf("need at least one cluster, got %d", *n))
+	}
+	r := stats.NewRand(*seed)
+	var g *topology.Grid
+	if *symmetric {
+		g = topology.RandomSymmetricGrid(r, *n)
+	} else {
+		g = topology.RandomGrid(r, *n)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

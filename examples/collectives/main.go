@@ -1,0 +1,62 @@
+// collectives explores the paper's stated future work (§8): grid-aware
+// schedules for scatter, gather and all-to-all on the 88-machine GRID5000
+// platform. For each pattern it compares the implemented strategies,
+// printing predicted makespans next to message-level simulations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collective"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+func main() {
+	g := topology.Grid5000()
+	const block = 64 << 10 // 64 KB per destination process
+
+	plan, err := collective.NewPlan(g, 0, block)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scatter of %d KB blocks to %d machines (%d clusters)\n",
+		block>>10, g.TotalNodes(), g.N())
+	fmt.Printf("%-14s %12s %12s\n", "strategy", "predicted", "simulated")
+	for _, strat := range collective.ScatterStrategies() {
+		sc := strat.Schedule(plan)
+		res, err := collective.ExecuteScatter(plan, sc, vnet.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %11.4fs %11.4fs\n", strat.Name(), sc.Makespan, res.Makespan)
+	}
+
+	fmt.Printf("\ngather of %d KB blocks from %d machines\n", block>>10, g.TotalNodes())
+	fmt.Printf("%-14s %12s %12s\n", "strategy", "predicted", "simulated")
+	for _, strat := range collective.GatherStrategies() {
+		sc := strat.Schedule(plan)
+		res, err := collective.ExecuteGather(plan, sc, vnet.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %11.4fs %11.4fs\n", strat.Name(), sc.Makespan, res.Makespan)
+	}
+
+	const pairBlock = 1 << 10 // 1 KB per process pair
+	ap, err := collective.NewAllToAllPlan(g, pairBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := collective.RingAllToAll{}.Schedule(ap)
+	res, err := collective.ExecuteAllToAll(ap, sc, vnet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nall-to-all, %d KB per process pair: predicted %.4fs, simulated %.4fs\n",
+		pairBlock>>10, sc.Makespan, res.Makespan)
+	fmt.Printf("wide-area bundles: %d; total traffic: %.1f MB\n",
+		len(sc.Events), float64(res.Bytes)/(1<<20))
+}

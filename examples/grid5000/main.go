@@ -1,0 +1,75 @@
+// grid5000 reproduces the paper's practical evaluation (§7) on the Table 3
+// platform: for a sweep of message sizes it prints the predicted (Figure 5)
+// and measured (Figure 6) completion time of every heuristic, plus the
+// grid-unaware "default MPI" binomial, with 3% network jitter on the
+// measured runs to mimic a real testbed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gridbcast "repro"
+)
+
+func main() {
+	g := gridbcast.Grid5000()
+	sizes := []int64{256 << 10, 1 << 20, 2 << 20, 4 << 20}
+	names := []string{"FlatTree", "FEF", "ECEF", "ECEF-LA", "ECEF-LAt", "ECEF-LAT", "BottomUp"}
+	jitter := gridbcast.NetConfig{Jitter: 0.03, Seed: 7}
+
+	fmt.Println("measured (3% jitter) vs predicted completion time, 88-machine grid")
+	fmt.Printf("%-12s", "size")
+	for _, n := range names {
+		fmt.Printf(" %12s", n)
+	}
+	fmt.Printf(" %12s\n", "Default LAM")
+
+	for _, m := range sizes {
+		fmt.Printf("%-12s", fmtSize(m))
+		for _, n := range names {
+			res, err := gridbcast.Simulate(g, 0, m, n, jitter)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %11.3fs", res.Makespan)
+		}
+		lam, err := gridbcast.SimulateBinomial(g, 0, m, jitter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %11.3fs\n", lam.Makespan)
+
+		fmt.Printf("%-12s", "  predicted")
+		for _, n := range names {
+			sc, err := gridbcast.Predict(g, 0, m, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %11.3fs", sc.Makespan)
+		}
+		fmt.Printf(" %12s\n", "-")
+	}
+
+	// The paper's headline: at 4 MB the schedule-based heuristics finish
+	// several times earlier than the flat tree, and even beat the
+	// cluster-oblivious binomial tree MPI uses by default.
+	best, err := gridbcast.Best(g, 0, 4<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat, _ := gridbcast.Predict(g, 0, 4<<20, "FlatTree")
+	fmt.Printf("\nat 4 MB: best schedule (%s) %.3fs, flat tree %.3fs — %.1fx speed-up\n",
+		best.Heuristic, best.Makespan, flat.Makespan, flat.Makespan/best.Makespan)
+}
+
+func fmtSize(m int64) string {
+	switch {
+	case m >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(m)/(1<<20))
+	case m >= 1<<10:
+		return fmt.Sprintf("%d KB", m>>10)
+	default:
+		return fmt.Sprintf("%d B", m)
+	}
+}

@@ -1,0 +1,59 @@
+// mixed demonstrates the paper's closing recommendation (§6): pick the
+// scheduling heuristic from the platform size. Performance-oriented
+// lookahead (ECEF-LA) wins on small grids; on large grids ECEF-LAT, which
+// serves slow clusters first and relies on communication overlap, keeps a
+// constant probability of producing the best schedule.
+package main
+
+import (
+	"fmt"
+
+	gridbcast "repro"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	family := []gridbcast.Heuristic{
+		sched.ECEF(), sched.ECEFLA(), sched.ECEFLAt(), sched.ECEFLAT(), sched.Mixed{},
+	}
+	const trials = 400
+
+	fmt.Println("how often each heuristic produces the family's best schedule")
+	fmt.Printf("%-10s", "clusters")
+	for _, h := range family {
+		fmt.Printf(" %10s", h.Name())
+	}
+	fmt.Println()
+
+	for _, n := range []int{4, 8, 16, 32, 48} {
+		wins := make([]int, len(family))
+		for trial := 0; trial < trials; trial++ {
+			r := stats.NewRand(stats.SplitSeed(99, int64(trial*100+n)))
+			g := topology.RandomGrid(r, n)
+			p := sched.MustProblem(g, 0, 1<<20, sched.Options{Overlap: true})
+			spans := make([]float64, len(family))
+			best := 0.0
+			for i, h := range family {
+				spans[i] = h.Schedule(p).Makespan
+				if i == 0 || spans[i] < best {
+					best = spans[i]
+				}
+			}
+			for i := range family {
+				if spans[i] <= best+1e-9 {
+					wins[i]++
+				}
+			}
+		}
+		fmt.Printf("%-10d", n)
+		for _, w := range wins {
+			fmt.Printf(" %9.1f%%", 100*float64(w)/trials)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nthe Mixed strategy follows ECEF-LA below its threshold and")
+	fmt.Println("ECEF-LAT above it, so it tracks the better column on both ends.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: describe a platform, schedule a broadcast, compare the
+// predicted makespan with a message-level simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gridbcast "repro"
+)
+
+func main() {
+	// The paper's 88-machine GRID5000 platform (Table 3): six clusters,
+	// two Orsay groups, three IDPOT groups, one Toulouse group.
+	g := gridbcast.Grid5000()
+	fmt.Printf("platform: %d clusters, %d machines\n", g.N(), g.TotalNodes())
+
+	// Broadcast 1 MB from cluster 0 with the paper's ECEF-LAT heuristic.
+	sc, err := gridbcast.Predict(g, 0, 1<<20, "ECEF-LAT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s schedule (%d wide-area transmissions):\n", sc.Heuristic, len(sc.Events))
+	for _, e := range sc.Events {
+		fmt.Printf("  round %d: %s -> %s  (start %.3fs, arrives %.3fs)\n",
+			e.Round, g.Clusters[e.From].Name, g.Clusters[e.To].Name, e.Start, e.Arrive)
+	}
+	fmt.Printf("predicted makespan: %.4fs\n", sc.Makespan)
+
+	// Execute the same broadcast message-by-message on the virtual grid.
+	res, err := gridbcast.Simulate(g, 0, 1<<20, "ECEF-LAT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated makespan: %.4fs (%d messages, %d bytes on the wire)\n",
+		res.Makespan, res.Messages, res.Bytes)
+
+	// Compare with the naive flat tree and the grid-unaware binomial.
+	flat, err := gridbcast.Predict(g, 0, 1<<20, "FlatTree")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lam, err := gridbcast.SimulateBinomial(g, 0, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFlatTree:    %.4fs (%.1fx slower)\n", flat.Makespan, flat.Makespan/sc.Makespan)
+	fmt.Printf("Default MPI: %.4fs (%.1fx slower)\n", lam.Makespan, lam.Makespan/sc.Makespan)
+}

@@ -1,0 +1,149 @@
+// Package gridbcast reproduces "Scheduling Heuristics for Efficient
+// Broadcast Operations on Grid Environments" (Barchet-Steffenel & Mounié,
+// PMEO-PDS/IPPS 2006): broadcast scheduling for hierarchical grids built
+// from heterogeneous clusters, under the pLogP communication model.
+//
+// The package is a facade over the implementation packages:
+//
+//   - describe a platform (topology.Grid, or the built-in GRID5000 dataset
+//     of the paper's Table 3, or random platforms per Table 2);
+//   - schedule a broadcast with any of the paper's heuristics (FlatTree,
+//     FEF, ECEF, ECEF-LA, and the paper's ECEF-LAt, ECEF-LAT, BottomUp),
+//     getting a full timed schedule and its predicted makespan;
+//   - execute the schedule message-by-message on a discrete-event virtual
+//     grid to obtain a measured makespan;
+//   - regenerate every figure and table of the paper's evaluation
+//     (internal/experiment, cmd/simfigs).
+//
+// Quick start:
+//
+//	g := gridbcast.Grid5000()
+//	sc, err := gridbcast.Predict(g, 0, 1<<20, "ECEF-LAT")
+//	res, err := gridbcast.Simulate(g, 0, 1<<20, "ECEF-LAT")
+//	fmt.Println(sc.Makespan, res.Makespan)
+package gridbcast
+
+import (
+	"fmt"
+
+	"repro/internal/intracluster"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+// Re-exported platform types: a Grid is a set of Clusters plus the
+// inter-cluster pLogP matrix. See repro/internal/topology for details.
+type (
+	// Grid describes a hierarchical platform.
+	Grid = topology.Grid
+	// Cluster is one homogeneous group of machines.
+	Cluster = topology.Cluster
+	// Schedule is a timed broadcast schedule.
+	Schedule = sched.Schedule
+	// Result is a measured (simulated) execution outcome.
+	Result = mpi.Result
+	// NetConfig tunes the virtual network used by Simulate (jitter,
+	// per-message software overhead).
+	NetConfig = vnet.Config
+	// Heuristic is a named scheduling policy.
+	Heuristic = sched.Heuristic
+	// Problem is a costed scheduling instance.
+	Problem = sched.Problem
+)
+
+// Grid5000 returns the paper's 88-machine, 6-cluster GRID5000 platform
+// (Table 3).
+func Grid5000() *Grid { return topology.Grid5000() }
+
+// RandomGrid draws an n-cluster platform with the paper's Table 2
+// parameter distribution, deterministically from seed.
+func RandomGrid(seed int64, n int) *Grid {
+	return topology.RandomGrid(stats.NewRand(seed), n)
+}
+
+// LoadGrid reads a platform from a JSON file (see Grid.SaveFile).
+func LoadGrid(path string) (*Grid, error) { return topology.LoadFile(path) }
+
+// Heuristics returns the scheduling heuristics compared in the paper, in
+// its legend order.
+func Heuristics() []Heuristic { return sched.Paper() }
+
+// HeuristicNames lists every heuristic name accepted by Predict/Simulate,
+// including the Mixed adaptive strategy and the FEF weight ablation.
+func HeuristicNames() []string {
+	all := append(sched.Paper(), sched.Mixed{}, sched.FEF{Weight: sched.WeightFull})
+	names := make([]string, len(all))
+	for i, h := range all {
+		names[i] = h.Name()
+	}
+	return names
+}
+
+// Predict schedules a broadcast of size bytes from cluster root using the
+// named heuristic and returns the schedule with its analytic (predicted)
+// timing.
+func Predict(g *Grid, root int, size int64, heuristic string) (*Schedule, error) {
+	h, ok := sched.ByName(heuristic)
+	if !ok {
+		return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", heuristic, HeuristicNames())
+	}
+	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return h.Schedule(p), nil
+}
+
+// Simulate schedules the broadcast like Predict and then executes it
+// message-by-message on the discrete-event virtual grid, returning the
+// measured result. Optional NetConfig values add jitter or per-message
+// software overhead; with none, the measured makespan equals the
+// prediction.
+func Simulate(g *Grid, root int, size int64, heuristic string, net ...NetConfig) (*Result, error) {
+	sc, err := Predict(g, root, size, heuristic)
+	if err != nil {
+		return nil, err
+	}
+	opt := mpi.Options{IntraShape: intracluster.Binomial}
+	if len(net) > 0 {
+		opt.Net = net[0]
+	}
+	return mpi.ExecuteSchedule(g, sc, size, opt)
+}
+
+// SimulateBinomial executes the grid-unaware binomial broadcast (the
+// "default MPI" baseline of the paper's Figure 6) and returns the measured
+// result.
+func SimulateBinomial(g *Grid, root int, size int64, net ...NetConfig) (*Result, error) {
+	var opt mpi.Options
+	if len(net) > 0 {
+		opt.Net = net[0]
+	}
+	return mpi.ExecuteBinomialGridUnaware(g, root, size, opt)
+}
+
+// Best schedules with every paper heuristic and returns the schedule with
+// the smallest predicted makespan.
+func Best(g *Grid, root int, size int64) (*Schedule, error) {
+	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	best, _ := sched.BestOf(sched.Paper(), p)
+	return best, nil
+}
+
+// Refine improves a Predict-produced schedule by local search (swap and
+// re-sender moves, re-timed through the schedule engine); the result is
+// never worse. This is the repository's step toward the "next-generation
+// optimisation techniques" the paper's conclusion calls for.
+func Refine(g *Grid, root int, size int64, sc *Schedule) (*Schedule, error) {
+	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return sched.Refine(p, sc, 0), nil
+}

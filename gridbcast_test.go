@@ -1,0 +1,120 @@
+package gridbcast
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictAndSimulateAgree(t *testing.T) {
+	g := Grid5000()
+	for _, name := range []string{"FlatTree", "ECEF", "ECEF-LAT", "BottomUp", "Mixed"} {
+		sc, err := Predict(g, 0, 1<<20, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Simulate(g, 0, 1<<20, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(sc.Makespan-res.Makespan) > 1e-9 {
+			t.Errorf("%s: predicted %g != simulated %g", name, sc.Makespan, res.Makespan)
+		}
+	}
+}
+
+func TestPredictUnknownHeuristic(t *testing.T) {
+	if _, err := Predict(Grid5000(), 0, 1, "nope"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestHeuristicNamesResolvable(t *testing.T) {
+	names := HeuristicNames()
+	if len(names) < 8 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if _, err := Predict(Grid5000(), 0, 1<<10, n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestRandomGridDeterministic(t *testing.T) {
+	a, b := RandomGrid(5, 10), RandomGrid(5, 10)
+	if a.Latency(0, 1) != b.Latency(0, 1) {
+		t.Error("same seed, different grid")
+	}
+	if a.N() != 10 {
+		t.Errorf("N = %d", a.N())
+	}
+}
+
+func TestBestIsMinimal(t *testing.T) {
+	g := RandomGrid(9, 8)
+	best, err := Best(g, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range Heuristics() {
+		sc, err := Predict(g, 0, 1<<20, h.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Makespan > sc.Makespan+1e-12 {
+			t.Errorf("Best (%g) worse than %s (%g)", best.Makespan, h.Name(), sc.Makespan)
+		}
+	}
+}
+
+func TestSimulateBinomialBaseline(t *testing.T) {
+	g := Grid5000()
+	res, err := SimulateBinomial(g, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(g, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= best.Makespan {
+		t.Errorf("grid-unaware binomial (%g) should lose to best schedule (%g)",
+			res.Makespan, best.Makespan)
+	}
+}
+
+func TestSimulateWithJitter(t *testing.T) {
+	g := Grid5000()
+	res, err := Simulate(g, 0, 1<<20, "ECEF", NetConfig{Jitter: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := Predict(g, 0, 1<<20, "ECEF")
+	if res.Makespan == sc.Makespan {
+		t.Error("jitter should perturb the measurement")
+	}
+}
+
+func TestLoadGridMissing(t *testing.T) {
+	if _, err := LoadGrid("/nonexistent/grid.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRefineFacade(t *testing.T) {
+	g := RandomGrid(77, 7)
+	sc, err := Predict(g, 0, 1<<20, "FlatTree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Refine(g, 0, 1<<20, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Makespan > sc.Makespan+1e-12 {
+		t.Errorf("refine worsened %g -> %g", sc.Makespan, ref.Makespan)
+	}
+	if _, err := Refine(g, -1, 1, sc); err == nil {
+		t.Error("bad root accepted")
+	}
+}

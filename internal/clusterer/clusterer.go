@@ -1,0 +1,176 @@
+// Package clusterer identifies logically homogeneous clusters from a full
+// node-to-node latency matrix, in the style of Lowekamp's algorithm (the
+// paper applies it in §7 with tolerance ρ = 30% to split 88 GRID5000
+// machines into the six clusters of Table 3; see also the authors'
+// "Identifying logical homogeneous clusters for efficient wide-area
+// communication", Euro PVM/MPI 2004).
+//
+// Two nodes belong to the same cluster when their mutual latency is within
+// the tolerance of the best latency either of them sees anywhere:
+//
+//	lat(i,j) <= (1+ρ) · min(minLat(i), minLat(j))
+//
+// and clusters are the connected components of that relation. A machine
+// whose best link is still far from everyone else's local traffic (like the
+// two single IDPOT machines in Table 3) therefore forms its own cluster.
+package clusterer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cluster partitions nodes 0..n-1 given a symmetric latency matrix and a
+// tolerance rho (e.g. 0.3 for the paper's 30%). It returns the assignment
+// node -> cluster id; ids are dense and ordered by each cluster's smallest
+// member index.
+func Cluster(matrix [][]float64, rho float64) ([]int, error) {
+	n := len(matrix)
+	if n == 0 {
+		return nil, fmt.Errorf("clusterer: empty matrix")
+	}
+	if rho < 0 {
+		return nil, fmt.Errorf("clusterer: negative tolerance %g", rho)
+	}
+	for i, row := range matrix {
+		if len(row) != n {
+			return nil, fmt.Errorf("clusterer: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("clusterer: invalid latency %g at (%d,%d)", v, i, j)
+			}
+			if math.Abs(v-matrix[j][i]) > 1e-12*(1+v) {
+				return nil, fmt.Errorf("clusterer: matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if n == 1 {
+		return []int{0}, nil
+	}
+
+	// minLat[i]: the best latency node i observes to any other node.
+	minLat := make([]float64, n)
+	for i := range matrix {
+		minLat[i] = math.Inf(1)
+		for j, v := range matrix[i] {
+			if i != j && v < minLat[i] {
+				minLat[i] = v
+			}
+		}
+	}
+
+	uf := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ref := math.Min(minLat[i], minLat[j])
+			if matrix[i][j] <= (1+rho)*ref {
+				uf.union(i, j)
+			}
+		}
+	}
+	return uf.assignment(), nil
+}
+
+// Groups inverts an assignment into member lists, ordered by cluster id.
+func Groups(assign []int) [][]int {
+	if len(assign) == 0 {
+		return nil
+	}
+	max := 0
+	for _, c := range assign {
+		if c > max {
+			max = c
+		}
+	}
+	groups := make([][]int, max+1)
+	for node, c := range assign {
+		groups[c] = append(groups[c], node)
+	}
+	return groups
+}
+
+// Sizes returns the member count of each cluster, largest first.
+func Sizes(assign []int) []int {
+	var sizes []int
+	for _, g := range Groups(assign) {
+		sizes = append(sizes, len(g))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// SameClusters reports whether two assignments induce the same partition
+// (cluster ids may differ).
+func SameClusters(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := rev[b[i]]; ok && m != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+// unionFind is a standard disjoint-set structure with path compression and
+// union by rank.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// assignment returns dense cluster ids ordered by first member.
+func (uf *unionFind) assignment() []int {
+	ids := map[int]int{}
+	out := make([]int, len(uf.parent))
+	for i := range uf.parent {
+		root := uf.find(i)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		out[i] = id
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package clusterer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Cluster(nil, 0.3); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := Cluster([][]float64{{0, 1}}, 0.3); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Cluster([][]float64{{0, 1}, {2, 0}}, 0.3); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, err := Cluster([][]float64{{0, -1}, {-1, 0}}, 0.3); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := Cluster([][]float64{{0}}, -0.1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	assign, err := Cluster([][]float64{{0}}, 0.3)
+	if err != nil || len(assign) != 1 || assign[0] != 0 {
+		t.Fatalf("assign = %v, err = %v", assign, err)
+	}
+}
+
+func TestTwoWellSeparatedClusters(t *testing.T) {
+	// Nodes 0,1 local (1µs); nodes 2,3 local (1µs); 10ms across.
+	m := [][]float64{
+		{0, 1e-6, 1e-2, 1e-2},
+		{1e-6, 0, 1e-2, 1e-2},
+		{1e-2, 1e-2, 0, 1e-6},
+		{1e-2, 1e-2, 1e-6, 0},
+	}
+	assign, err := Cluster(m, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1}
+	if !SameClusters(assign, want) {
+		t.Errorf("assign = %v, want partition %v", assign, want)
+	}
+}
+
+func TestIsolatedMachineStaysAlone(t *testing.T) {
+	// Node 2's best latency (5µs to node 0) is much worse than what the
+	// pair 0-1 sees locally, so it must not join them.
+	m := [][]float64{
+		{0, 1e-6, 5e-6},
+		{1e-6, 0, 6e-6},
+		{5e-6, 6e-6, 0},
+	}
+	assign, err := Cluster(m, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameClusters(assign, []int{0, 0, 1}) {
+		t.Errorf("assign = %v, want [0 0 1]", assign)
+	}
+}
+
+// TestRecoverGrid5000Table3 is the paper's §7 clustering: the synthetic
+// 88×88 GRID5000 latency matrix at ρ=30% must yield exactly the six
+// logical clusters of Table 3.
+func TestRecoverGrid5000Table3(t *testing.T) {
+	matrix, truth := topology.Grid5000NodeMatrix(nil, 0)
+	assign, err := Cluster(matrix, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameClusters(assign, truth) {
+		t.Fatalf("partition differs from Table 3: sizes %v, want [31 29 20 6 1 1]", Sizes(assign))
+	}
+	sizes := Sizes(assign)
+	want := []int{31, 29, 20, 6, 1, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestRecoverGrid5000WithJitter(t *testing.T) {
+	matrix, truth := topology.Grid5000NodeMatrix(stats.NewRand(12), 0.01)
+	assign, err := Cluster(matrix, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameClusters(assign, truth) {
+		t.Errorf("1%% jitter broke recovery: sizes %v", Sizes(assign))
+	}
+}
+
+func TestZeroToleranceSplitsHeterogeneousPairs(t *testing.T) {
+	// With rho=0, only exactly-minimal latencies merge.
+	m := [][]float64{
+		{0, 1e-6, 2e-6},
+		{1e-6, 0, 1e-6},
+		{2e-6, 1e-6, 0},
+	}
+	assign, err := Cluster(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0-1 and 1-2 merge via node 1 (both are at everyone's minimum).
+	if !SameClusters(assign, []int{0, 0, 0}) {
+		t.Errorf("assign = %v", assign)
+	}
+}
+
+func TestHugeToleranceMergesEverything(t *testing.T) {
+	matrix, _ := topology.Grid5000NodeMatrix(nil, 0)
+	assign, err := Cluster(matrix, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Groups(assign)) != 1 {
+		t.Errorf("expected single cluster, got %d", len(Groups(assign)))
+	}
+}
+
+func TestGroupsAndSizes(t *testing.T) {
+	assign := []int{0, 1, 0, 2, 1, 1}
+	groups := Groups(assign)
+	if len(groups) != 3 || len(groups[1]) != 3 {
+		t.Errorf("groups = %v", groups)
+	}
+	sizes := Sizes(assign)
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if Groups(nil) != nil {
+		t.Error("Groups(nil) should be nil")
+	}
+}
+
+func TestSameClusters(t *testing.T) {
+	if !SameClusters([]int{0, 0, 1}, []int{1, 1, 0}) {
+		t.Error("relabelled partition should match")
+	}
+	if SameClusters([]int{0, 0, 1}, []int{0, 1, 1}) {
+		t.Error("different partition should not match")
+	}
+	if SameClusters([]int{0}, []int{0, 1}) {
+		t.Error("length mismatch should not match")
+	}
+}
+
+// Property: assignments are dense ids starting at 0 and every pair within a
+// cluster satisfies reflexive consistency through SameClusters.
+func TestClusterAssignmentDenseProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		r := stats.NewRand(seed)
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := 1e-6 + r.Float64()*1e-2
+				m[i][j], m[j][i] = v, v
+			}
+		}
+		assign, err := Cluster(m, 0.3)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		max := -1
+		for _, c := range assign {
+			seen[c] = true
+			if c > max {
+				max = c
+			}
+		}
+		for id := 0; id <= max; id++ {
+			if !seen[id] {
+				return false
+			}
+		}
+		return SameClusters(assign, assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

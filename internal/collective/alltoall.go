@@ -1,0 +1,232 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+)
+
+// All-to-all: every process holds one personalised block for every other
+// process. The two-level scheme aggregates at coordinators: each cluster
+// first gathers its outgoing blocks locally, coordinators then exchange
+// cluster-to-cluster bundles across the wide area, and finally each
+// cluster scatters the received blocks locally.
+//
+// The wide-area phase is scheduled in rounds. In round r (1 <= r < N),
+// coordinator i sends its bundle for cluster (i+r) mod N — the classic
+// shift (ring) all-to-all, which guarantees every coordinator sends and
+// receives at most one bundle per round. On heterogeneous grids rounds
+// drift apart: a coordinator starts round r as soon as its previous send
+// finished (sends do not wait for receives; pLogP receivers are passive),
+// so slow links delay only the pairs that use them.
+
+// AllToAllEvent is one wide-area bundle exchange.
+type AllToAllEvent struct {
+	Round    int
+	From, To int
+	Payload  int64
+	// Start/SenderFree/Arrive follow pLogP semantics.
+	Start, SenderFree, Arrive float64
+}
+
+// AllToAllSchedule is the timed wide-area exchange plus phase durations.
+type AllToAllSchedule struct {
+	Strategy string
+	Events   []AllToAllEvent
+	// PreGather[i] is cluster i's local gather duration (blocks of every
+	// local machine for all remote machines, collected at the
+	// coordinator).
+	PreGather []float64
+	// LastArrive[i] is when the final remote bundle reached coordinator
+	// i; PostScatter[i] the local redistribution that follows.
+	LastArrive  []float64
+	PostScatter []float64
+	// Completion[i] = LastArrive[i] + PostScatter[i].
+	Completion []float64
+	Makespan   float64
+}
+
+// AllToAllPlan costs an all-to-all instance. BlockSize is the per-process
+// pair payload: every process sends BlockSize bytes to every other
+// process.
+type AllToAllPlan struct {
+	Plan *Plan // reuses grid/bundle machinery; Bundle is not used directly
+	// PairBundle[i][j] is the aggregated payload cluster i sends cluster
+	// j: BlockSize * nodes_i * nodes_j.
+	PairBundle [][]int64
+}
+
+// NewAllToAllPlan costs an all-to-all of blockSize bytes per process pair.
+func NewAllToAllPlan(g *topologyGrid, blockSize int64) (*AllToAllPlan, error) {
+	p, err := NewPlan(g, 0, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	ap := &AllToAllPlan{Plan: p, PairBundle: make([][]int64, n)}
+	for i := 0; i < n; i++ {
+		ap.PairBundle[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				ap.PairBundle[i][j] = blockSize * int64(g.Clusters[i].Nodes) * int64(g.Clusters[j].Nodes)
+			}
+		}
+	}
+	return ap, nil
+}
+
+// topologyGrid is a local alias keeping the import surface in one place.
+type topologyGrid = grid
+
+// RingAllToAll schedules the shift-based exchange.
+type RingAllToAll struct{}
+
+// Name returns the strategy name.
+func (RingAllToAll) Name() string { return "ring" }
+
+// Schedule builds the ring all-to-all schedule. Sender timelines are
+// independent (coordinators only ever send their own cluster's data), so
+// they are computed first; deliveries are then serialised per receiving
+// NIC (see internal/vnet on receiver-side gaps), in NIC-arrival order.
+func (RingAllToAll) Schedule(ap *AllToAllPlan) *AllToAllSchedule {
+	p := ap.Plan
+	g := p.Grid
+	n := g.N()
+	sc := &AllToAllSchedule{
+		Strategy:    "ring",
+		PreGather:   make([]float64, n),
+		LastArrive:  make([]float64, n),
+		PostScatter: make([]float64, n),
+		Completion:  make([]float64, n),
+	}
+	busy := make([]float64, n) // per-coordinator send (tx) timeline
+	for i := 0; i < n; i++ {
+		// Local gather of outgoing blocks: each local machine ships
+		// blockSize * (total remote machines) bytes to the coordinator's
+		// LAN port (separate from its wide-area NIC, see exec.go), so
+		// rxFree starts at zero.
+		remote := int64(g.TotalNodes() - g.Clusters[i].Nodes)
+		sc.PreGather[i] = localGatherTime(g.Clusters[i], p.BlockSize*remote)
+		busy[i] = sc.PreGather[i]
+		sc.LastArrive[i] = sc.PreGather[i]
+	}
+	// Pass 1: sender timelines and NIC arrival times.
+	for r := 1; r < n; r++ {
+		for i := 0; i < n; i++ {
+			j := (i + r) % n
+			payload := ap.PairBundle[i][j]
+			gap := g.Gap(i, j, payload)
+			ev := AllToAllEvent{
+				Round: r, From: i, To: j, Payload: payload,
+				Start:      busy[i],
+				SenderFree: busy[i] + gap,
+				Arrive:     busy[i] + gap + g.Latency(i, j), // NIC arrival, refined below
+			}
+			busy[i] = ev.SenderFree
+			sc.Events = append(sc.Events, ev)
+		}
+	}
+	// Pass 2: receiver-side minimum delivery spacing, per NIC in arrival
+	// order (the rule internal/vnet enforces).
+	perRx := make([][]int, n)
+	for k, ev := range sc.Events {
+		perRx[ev.To] = append(perRx[ev.To], k)
+	}
+	lastDelivered := make([]float64, n)
+	for j := 0; j < n; j++ {
+		idx := perRx[j]
+		sortEventsByArrival(sc.Events, idx)
+		for _, k := range idx {
+			ev := &sc.Events[k]
+			if floor := lastDelivered[j] + g.Gap(ev.From, ev.To, ev.Payload); ev.Arrive < floor {
+				ev.Arrive = floor
+			}
+			lastDelivered[j] = ev.Arrive
+			if ev.Arrive > sc.LastArrive[j] {
+				sc.LastArrive[j] = ev.Arrive
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		// Local scatter of everything received from remote clusters.
+		remote := int64(g.TotalNodes() - g.Clusters[i].Nodes)
+		sc.PostScatter[i] = localScatterTime(g.Clusters[i], p.BlockSize*remote)
+		// The coordinator can only run the local phase after its own
+		// sends are done and the last bundle arrived.
+		start := math.Max(sc.LastArrive[i], busy[i])
+		sc.Completion[i] = start + sc.PostScatter[i]
+		if sc.Completion[i] > sc.Makespan {
+			sc.Makespan = sc.Completion[i]
+		}
+	}
+	return sc
+}
+
+// sortEventsByArrival stably sorts the index list by the events' NIC
+// arrival time, breaking ties by sender index (the virtual network
+// delivers simultaneous arrivals in process-creation order).
+func sortEventsByArrival(events []AllToAllEvent, idx []int) {
+	for a := 1; a < len(idx); a++ {
+		for b := a; b > 0; b-- {
+			x, y := events[idx[b-1]], events[idx[b]]
+			if y.Arrive < x.Arrive || (y.Arrive == x.Arrive && y.From < x.From) {
+				idx[b-1], idx[b] = idx[b], idx[b-1]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// localGatherTime mirrors localScatterTime for the collection direction.
+func localGatherTime(c cluster, m int64) float64 {
+	if c.BcastTime > 0 {
+		return c.BcastTime
+	}
+	if c.Nodes <= 1 {
+		return 0
+	}
+	// Nodes-1 local machines send m bytes each; the coordinator link
+	// serialises them.
+	return float64(c.Nodes-1)*c.Intra.Gap(m) + c.Intra.L
+}
+
+// Validate checks all-to-all invariants: every ordered cluster pair
+// exchanges exactly one bundle, senders never overlap, and timings are
+// pLogP-consistent.
+func (sc *AllToAllSchedule) Validate(ap *AllToAllPlan) error {
+	g := ap.Plan.Grid
+	n := g.N()
+	if want := n * (n - 1); len(sc.Events) != want {
+		return fmt.Errorf("collective: %d events, want %d", len(sc.Events), want)
+	}
+	seen := make(map[[2]int]bool, len(sc.Events))
+	lastFree := make([]float64, n)
+	for i := range lastFree {
+		lastFree[i] = sc.PreGather[i]
+	}
+	for k, ev := range sc.Events {
+		key := [2]int{ev.From, ev.To}
+		if seen[key] {
+			return fmt.Errorf("collective: pair %v exchanged twice", key)
+		}
+		seen[key] = true
+		if ev.Start+1e-12 < lastFree[ev.From] {
+			return fmt.Errorf("collective: event %d: sender %d overlaps", k, ev.From)
+		}
+		gap := g.Gap(ev.From, ev.To, ev.Payload)
+		if math.Abs(ev.SenderFree-(ev.Start+gap)) > 1e-9 {
+			return fmt.Errorf("collective: event %d sender timing inconsistent", k)
+		}
+		// Delivery may lag the raw NIC arrival because of receiver-side
+		// gap serialisation, but never precede it.
+		if ev.Arrive+1e-9 < ev.SenderFree+g.Latency(ev.From, ev.To) {
+			return fmt.Errorf("collective: event %d arrives before propagation", k)
+		}
+		if ev.Payload != ap.PairBundle[ev.From][ev.To] {
+			return fmt.Errorf("collective: event %d payload %d != bundle %d",
+				k, ev.Payload, ap.PairBundle[ev.From][ev.To])
+		}
+		lastFree[ev.From] = ev.SenderFree
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+func grid5000Plan(t *testing.T, m int64) *Plan {
+	t.Helper()
+	p, err := NewPlan(topology.Grid5000(), 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func randomPlan(t *testing.T, seed int64, n int, m int64) *Plan {
+	t.Helper()
+	p, err := NewPlan(topology.RandomGrid(stats.NewRand(seed), n), 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	g := topology.Grid5000()
+	if _, err := NewPlan(g, -1, 1); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := NewPlan(g, 6, 1); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := NewPlan(g, 0, -1); err == nil {
+		t.Error("negative block accepted")
+	}
+	if _, err := NewPlan(&topology.Grid{}, 0, 1); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+func TestPlanBundles(t *testing.T) {
+	p := grid5000Plan(t, 1<<10)
+	// Bundle for the 31-node Orsay cluster = 31 KiB.
+	if p.Bundle[0] != 31<<10 {
+		t.Errorf("bundle[0] = %d", p.Bundle[0])
+	}
+	// Single-machine clusters have a zero local phase.
+	if p.LocalT[3] != 0 || p.LocalT[4] != 0 {
+		t.Errorf("singleton local phases = %g, %g", p.LocalT[3], p.LocalT[4])
+	}
+	if p.LocalT[0] <= 0 {
+		t.Errorf("local phase of 31-node cluster = %g", p.LocalT[0])
+	}
+}
+
+func TestScatterSchedulesValid(t *testing.T) {
+	for _, strat := range ScatterStrategies() {
+		for seed := int64(0); seed < 5; seed++ {
+			p := randomPlan(t, seed, 2+int(seed), 1<<16)
+			sc := strat.Schedule(p)
+			if err := sc.Validate(p); err != nil {
+				t.Errorf("%s seed %d: %v", strat.Name(), seed, err)
+			}
+		}
+		p := grid5000Plan(t, 1<<16)
+		sc := strat.Schedule(p)
+		if err := sc.Validate(p); err != nil {
+			t.Errorf("%s on grid5000: %v", strat.Name(), err)
+		}
+	}
+}
+
+func TestScatterLongestTailOptimalAmongDirect(t *testing.T) {
+	// The longest-tail-first rule is optimal for one-source sequential
+	// dispatch; it must never lose to the other direct orders.
+	for seed := int64(0); seed < 40; seed++ {
+		p := randomPlan(t, seed, 2+int(seed%8), 1<<16)
+		ltf := Direct{Order: OrderLongestTail}.Schedule(p).Makespan
+		for _, other := range []Direct{{Order: OrderIndex}, {Order: OrderShortestTail}} {
+			if om := other.Schedule(p).Makespan; ltf > om+1e-9 {
+				t.Fatalf("seed %d: LTF (%g) lost to %s (%g)", seed, ltf, other.Name(), om)
+			}
+		}
+	}
+}
+
+func TestScatterTreeReducesRootSerialisation(t *testing.T) {
+	// On the 88-machine grid with its slow WAN links, recursive halving
+	// lets relays carry part of the traffic; the root then finishes its
+	// wide-area phase earlier than under a 5-bundle direct dispatch.
+	p := grid5000Plan(t, 1<<20)
+	tree := Tree{}.Schedule(p)
+	if err := tree.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	rootSends := 0
+	for _, ev := range tree.Events {
+		if ev.From == p.Root {
+			rootSends++
+		}
+	}
+	if rootSends >= p.Grid.N()-1 {
+		t.Errorf("tree scatter does not delegate: root sends %d bundles", rootSends)
+	}
+}
+
+func TestScatterExecutionMatchesPrediction(t *testing.T) {
+	for _, strat := range ScatterStrategies() {
+		for seed := int64(0); seed < 6; seed++ {
+			p := randomPlan(t, seed, 2+int(seed), 1<<16)
+			sc := strat.Schedule(p)
+			res, err := ExecuteScatter(p, sc, vnet.Config{})
+			if err != nil {
+				t.Fatalf("%s: %v", strat.Name(), err)
+			}
+			if math.Abs(res.Makespan-sc.Makespan) > 1e-9 {
+				t.Errorf("%s seed %d: measured %g != predicted %g",
+					strat.Name(), seed, res.Makespan, sc.Makespan)
+			}
+		}
+	}
+}
+
+func TestScatterExecutionMatchesPredictionGrid5000(t *testing.T) {
+	for _, strat := range ScatterStrategies() {
+		p := grid5000Plan(t, 1<<20)
+		sc := strat.Schedule(p)
+		res, err := ExecuteScatter(p, sc, vnet.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if math.Abs(res.Makespan-sc.Makespan) > 1e-9 {
+			t.Errorf("%s: measured %g != predicted %g", strat.Name(), res.Makespan, sc.Makespan)
+		}
+	}
+}
+
+func TestGatherSchedulesValidAndMatchExecution(t *testing.T) {
+	for _, strat := range GatherStrategies() {
+		for seed := int64(0); seed < 6; seed++ {
+			p := randomPlan(t, seed, 2+int(seed), 1<<16)
+			sc := strat.Schedule(p)
+			if err := sc.Validate(p); err != nil {
+				t.Fatalf("%s seed %d: %v", strat.Name(), seed, err)
+			}
+			res, err := ExecuteGather(p, sc, vnet.Config{})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", strat.Name(), seed, err)
+			}
+			if math.Abs(res.Makespan-sc.Makespan) > 1e-9 {
+				t.Errorf("%s seed %d: measured %g != predicted %g",
+					strat.Name(), seed, res.Makespan, sc.Makespan)
+			}
+		}
+	}
+}
+
+func TestGatherGrid5000ExecutionMatch(t *testing.T) {
+	for _, strat := range GatherStrategies() {
+		p := grid5000Plan(t, 1<<18)
+		sc := strat.Schedule(p)
+		res, err := ExecuteGather(p, sc, vnet.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if math.Abs(res.Makespan-sc.Makespan) > 1e-9 {
+			t.Errorf("%s: measured %g != predicted %g", strat.Name(), res.Makespan, sc.Makespan)
+		}
+	}
+}
+
+func TestGatherEarliestReadyBeatsIndexOnSkewedLocalPhases(t *testing.T) {
+	// With strongly skewed local gather durations, draining ready bundles
+	// first should on average beat index order.
+	var ready, index stats.Accumulator
+	for seed := int64(0); seed < 30; seed++ {
+		p := randomPlan(t, seed, 8, 1<<16)
+		ready.Add(Gather{Order: GatherEarliestReady}.Schedule(p).Makespan)
+		index.Add(Gather{Order: GatherIndex}.Schedule(p).Makespan)
+	}
+	if ready.Mean() > index.Mean()+1e-9 {
+		t.Errorf("earliest-ready (%g) worse on average than index (%g)", ready.Mean(), index.Mean())
+	}
+}
+
+func TestAllToAllScheduleValidAndMatchesExecution(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := topology.RandomGrid(stats.NewRand(seed), 2+int(seed))
+		ap, err := NewAllToAllPlan(g, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := RingAllToAll{}.Schedule(ap)
+		if err := sc.Validate(ap); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := ExecuteAllToAll(ap, sc, vnet.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(res.Makespan-sc.Makespan) > 1e-9 {
+			t.Errorf("seed %d: measured %g != predicted %g", seed, res.Makespan, sc.Makespan)
+		}
+	}
+}
+
+func TestAllToAllGrid5000(t *testing.T) {
+	ap, err := NewAllToAllPlan(topology.Grid5000(), 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := RingAllToAll{}.Schedule(ap)
+	if err := sc.Validate(ap); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecuteAllToAll(ap, sc, vnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-sc.Makespan) > 1e-6*(1+sc.Makespan) {
+		t.Errorf("measured %g != predicted %g", res.Makespan, sc.Makespan)
+	}
+	// Every ordered pair exchanged once: 6*5 bundles; plus local traffic.
+	if len(sc.Events) != 30 {
+		t.Errorf("events = %d", len(sc.Events))
+	}
+}
+
+func TestAllToAllPairBundleSizes(t *testing.T) {
+	ap, err := NewAllToAllPlan(topology.Grid5000(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orsay-a (31) -> toulouse (20): 100 * 31 * 20.
+	if got := ap.PairBundle[0][5]; got != 100*31*20 {
+		t.Errorf("pair bundle = %d", got)
+	}
+	if ap.PairBundle[2][2] != 0 {
+		t.Error("diagonal should be zero")
+	}
+}
+
+func TestScatterJitterPerturbs(t *testing.T) {
+	p := grid5000Plan(t, 1<<20)
+	sc := Direct{Order: OrderLongestTail}.Schedule(p)
+	res, err := ExecuteScatter(p, sc, vnet.Config{Jitter: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan == sc.Makespan {
+		t.Error("jitter should perturb the measurement")
+	}
+	if res.Makespan < 0.7*sc.Makespan || res.Makespan > 1.3*sc.Makespan {
+		t.Errorf("jittered %g too far from %g", res.Makespan, sc.Makespan)
+	}
+}
+
+func TestExecuteRejectsCorruptSchedules(t *testing.T) {
+	p := grid5000Plan(t, 1<<16)
+	sc := Direct{}.Schedule(p)
+	sc.Events[0].Payload = 1 // below destination bundle
+	if _, err := ExecuteScatter(p, sc, vnet.Config{}); err == nil {
+		t.Error("corrupt scatter schedule accepted")
+	}
+	gsc := Gather{}.Schedule(p)
+	gsc.Events[0].Done += 1
+	if _, err := ExecuteGather(p, gsc, vnet.Config{}); err == nil {
+		t.Error("corrupt gather schedule accepted")
+	}
+}
+
+// Property: every scatter strategy produces a valid schedule on random
+// grids and the makespan is at least the best single transfer.
+func TestScatterProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%10) + 2
+		m := int64(mRaw) + 1
+		p, err := NewPlan(topology.RandomGrid(stats.NewRand(seed), n), 0, m)
+		if err != nil {
+			return false
+		}
+		for _, strat := range ScatterStrategies() {
+			sc := strat.Schedule(p)
+			if sc.Validate(p) != nil || sc.Makespan <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

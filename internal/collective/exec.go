@@ -1,0 +1,287 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/plogp"
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// Tags on the virtual network.
+const (
+	tagBundle  = 10 // wide-area aggregated payload
+	tagBlock   = 11 // intra-cluster block (towards the coordinator)
+	tagToken   = 12 // gather clear-to-send
+	tagDeliver = 13 // intra-cluster block (from the coordinator)
+)
+
+// ExecResult is the outcome of a message-level collective execution.
+type ExecResult struct {
+	Makespan float64
+	Messages int64
+	Bytes    int64
+}
+
+// execEnv bundles the simulation pieces common to the three executions.
+//
+// Every cluster coordinator gets two endpoints: its wide-area NIC (endpoint
+// offsets[c]) and a LAN-side "local port" (endpoint ports[c]). Grid
+// gateways have distinct interfaces for the two networks, so local block
+// traffic does not contend with wide-area bundles at the coordinator —
+// which is also what the analytic models in this package assume.
+type execEnv struct {
+	env     *sim.Env
+	nw      *vnet.Network
+	g       *grid
+	offsets []int
+	ports   []int
+}
+
+func newExecEnv(g *grid, cfg vnet.Config) *execEnv {
+	n := g.N()
+	offsets := make([]int, n)
+	total := 0
+	for c := range g.Clusters {
+		offsets[c] = total
+		total += g.Clusters[c].Nodes
+	}
+	clusterOf := make([]int, 0, total+n)
+	for c := range g.Clusters {
+		for r := 0; r < g.Clusters[c].Nodes; r++ {
+			clusterOf = append(clusterOf, c)
+		}
+	}
+	ports := make([]int, n)
+	for c := 0; c < n; c++ {
+		ports[c] = total + c
+		clusterOf = append(clusterOf, c)
+	}
+	env := sim.New()
+	link := func(from, to int) plogp.Params {
+		cf, ct := clusterOf[from], clusterOf[to]
+		if cf == ct {
+			return g.Clusters[cf].Intra
+		}
+		return g.Inter[cf][ct]
+	}
+	return &execEnv{env: env, nw: vnet.New(env, total+n, link, cfg), g: g, offsets: offsets, ports: ports}
+}
+
+func (e *execEnv) run() (float64, error) {
+	end := e.env.Run()
+	if e.env.Live() != 0 {
+		n := e.env.Live()
+		e.env.Shutdown()
+		return 0, fmt.Errorf("collective: %d processes never completed", n)
+	}
+	return end, nil
+}
+
+// ExecuteScatter runs a scatter schedule message-by-message: coordinators
+// forward the recorded wide-area events in order, then deliver one block to
+// each local machine. The returned makespan is when the last machine holds
+// its block (including modelled local phases).
+func ExecuteScatter(p *Plan, sc *ScatterSchedule, cfg vnet.Config) (*ExecResult, error) {
+	if err := sc.Validate(p); err != nil {
+		return nil, fmt.Errorf("collective: refusing invalid scatter schedule: %w", err)
+	}
+	e := newExecEnv(p.Grid, cfg)
+	sends := make([][]ScatterEvent, p.Grid.N())
+	for _, ev := range sc.Events {
+		sends[ev.From] = append(sends[ev.From], ev)
+	}
+	done := 0.0
+	finish := func(at float64) {
+		if at > done {
+			done = at
+		}
+	}
+	for c := range p.Grid.Clusters {
+		cl := p.Grid.Clusters[c]
+		coord := e.offsets[c]
+		isRoot := c == sc.Root
+		e.env.Process(fmt.Sprintf("scatter-coord-%d", c), func(proc *sim.Proc) {
+			if !isRoot {
+				e.nw.RecvMatch(proc, coord, func(m *vnet.Message) bool { return m.Tag == tagBundle })
+			}
+			for _, ev := range sends[c] {
+				e.nw.Send(proc, coord, e.offsets[ev.To], ev.Payload, tagBundle, nil)
+			}
+			if cl.BcastTime > 0 {
+				proc.Wait(cl.BcastTime)
+				finish(proc.Now())
+				return
+			}
+			for r := 1; r < cl.Nodes; r++ {
+				e.nw.Send(proc, coord, coord+r, p.BlockSize, tagDeliver, nil)
+			}
+			finish(proc.Now())
+		})
+		if cl.BcastTime == 0 {
+			for r := 1; r < cl.Nodes; r++ {
+				e.env.Process(fmt.Sprintf("scatter-node-%d-%d", c, r), func(proc *sim.Proc) {
+					m := e.nw.RecvMatch(proc, coord+r, func(m *vnet.Message) bool { return m.Tag == tagDeliver })
+					finish(m.ArrivedAt)
+				})
+			}
+		}
+	}
+	if _, err := e.run(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{Makespan: done, Messages: e.nw.Messages, Bytes: e.nw.Bytes}, nil
+}
+
+// startLocalGather has every non-coordinator machine of cluster c push its
+// block to the cluster's local port at time zero. Deliveries serialise at
+// the port per the receiver-side gap rule, so the last block lands exactly
+// at the plan's LocalT.
+func (e *execEnv) startLocalGather(c int, blockSize int64) {
+	cl := e.g.Clusters[c]
+	coord := e.offsets[c]
+	for r := 1; r < cl.Nodes; r++ {
+		e.env.Process(fmt.Sprintf("lgather-%d-%d", c, r), func(proc *sim.Proc) {
+			e.nw.Send(proc, coord+r, e.ports[c], blockSize, tagBlock, nil)
+		})
+	}
+}
+
+// drainLocalGather reads the buffered local blocks of cluster c and returns
+// the latest delivery time (the local gather completion).
+func (e *execEnv) drainLocalGather(proc *sim.Proc, c int) float64 {
+	last := 0.0
+	for r := 1; r < e.g.Clusters[c].Nodes; r++ {
+		m := e.nw.RecvMatch(proc, e.ports[c], func(m *vnet.Message) bool { return m.Tag == tagBlock })
+		if m.ArrivedAt > last {
+			last = m.ArrivedAt
+		}
+	}
+	return last
+}
+
+// ExecuteGather runs a gather schedule: the root coordinator tokens each
+// cluster in drain order and receives its bundle; each cluster coordinator
+// first collects its local blocks, then waits for the token. The makespan
+// is when the root holds every bundle (and its own local gather finished).
+func ExecuteGather(p *Plan, sc *GatherSchedule, cfg vnet.Config) (*ExecResult, error) {
+	if err := sc.Validate(p); err != nil {
+		return nil, fmt.Errorf("collective: refusing invalid gather schedule: %w", err)
+	}
+	e := newExecEnv(p.Grid, cfg)
+	done := 0.0
+	finish := func(at float64) {
+		if at > done {
+			done = at
+		}
+	}
+	for c := range p.Grid.Clusters {
+		cl := p.Grid.Clusters[c]
+		coord := e.offsets[c]
+		if c == sc.Root {
+			e.env.Process("gather-root", func(proc *sim.Proc) {
+				for _, ev := range sc.Events {
+					e.nw.Send(proc, coord, e.offsets[ev.From], 0, tagToken, nil)
+					m := e.nw.RecvMatch(proc, coord, func(m *vnet.Message) bool { return m.Tag == tagBundle })
+					finish(m.ArrivedAt)
+				}
+				// The root's own local gather overlapped the drain; its
+				// blocks are buffered at the local port with correct
+				// delivery timestamps.
+				if cl.BcastTime == 0 {
+					finish(e.drainLocalGather(proc, c))
+				}
+			})
+			if cl.BcastTime > 0 {
+				e.env.Process("gather-root-local", func(proc *sim.Proc) {
+					proc.Wait(cl.BcastTime)
+					finish(proc.Now())
+				})
+			} else {
+				e.startLocalGather(c, p.BlockSize)
+			}
+			continue
+		}
+		e.env.Process(fmt.Sprintf("gather-coord-%d", c), func(proc *sim.Proc) {
+			if cl.BcastTime > 0 {
+				proc.Wait(cl.BcastTime)
+			} else {
+				e.drainLocalGather(proc, c)
+			}
+			e.nw.RecvMatch(proc, coord, func(m *vnet.Message) bool { return m.Tag == tagToken })
+			e.nw.Send(proc, coord, e.offsets[sc.Root], p.Bundle[c], tagBundle, nil)
+		})
+		if cl.BcastTime == 0 {
+			e.startLocalGather(c, p.BlockSize)
+		}
+	}
+	if _, err := e.run(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{Makespan: done, Messages: e.nw.Messages, Bytes: e.nw.Bytes}, nil
+}
+
+// ExecuteAllToAll runs the ring exchange: every coordinator gathers its
+// local blocks, sends one bundle per round to its shifted partner, receives
+// n-1 bundles, and finally scatters locally. The makespan is when the last
+// machine holds all of its incoming blocks.
+func ExecuteAllToAll(ap *AllToAllPlan, sc *AllToAllSchedule, cfg vnet.Config) (*ExecResult, error) {
+	if err := sc.Validate(ap); err != nil {
+		return nil, fmt.Errorf("collective: refusing invalid all-to-all schedule: %w", err)
+	}
+	p := ap.Plan
+	g := p.Grid
+	e := newExecEnv(g, cfg)
+	n := g.N()
+	done := 0.0
+	finish := func(at float64) {
+		if at > done {
+			done = at
+		}
+	}
+	for c := 0; c < n; c++ {
+		cl := g.Clusters[c]
+		coord := e.offsets[c]
+		remote := int64(g.TotalNodes() - cl.Nodes)
+		out := p.BlockSize * remote
+		e.env.Process(fmt.Sprintf("a2a-coord-%d", c), func(proc *sim.Proc) {
+			// Phase 1: local gather of outgoing blocks.
+			if cl.BcastTime > 0 {
+				proc.Wait(cl.BcastTime)
+			} else {
+				e.drainLocalGather(proc, c)
+			}
+			// Phase 2: shifted bundle sends; receives drain passively.
+			for r := 1; r < n; r++ {
+				j := (c + r) % n
+				e.nw.Send(proc, coord, e.offsets[j], ap.PairBundle[c][j], tagBundle, nil)
+			}
+			for r := 1; r < n; r++ {
+				e.nw.RecvMatch(proc, coord, func(m *vnet.Message) bool { return m.Tag == tagBundle })
+			}
+			finish(proc.Now())
+			// Phase 3: local scatter of incoming blocks.
+			if cl.BcastTime > 0 {
+				proc.Wait(cl.BcastTime)
+				finish(proc.Now())
+				return
+			}
+			for r := 1; r < cl.Nodes; r++ {
+				e.nw.Send(proc, coord, coord+r, p.BlockSize*remote, tagDeliver, nil)
+			}
+		})
+		if cl.BcastTime == 0 {
+			e.startLocalGather(c, out)
+			for r := 1; r < cl.Nodes; r++ {
+				e.env.Process(fmt.Sprintf("a2a-node-%d-%d", c, r), func(proc *sim.Proc) {
+					m := e.nw.RecvMatch(proc, coord+r, func(m *vnet.Message) bool { return m.Tag == tagDeliver })
+					finish(m.ArrivedAt)
+				})
+			}
+		}
+	}
+	if _, err := e.run(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{Makespan: done, Messages: e.nw.Messages, Bytes: e.nw.Bytes}, nil
+}

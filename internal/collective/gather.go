@@ -1,0 +1,156 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Gather is the mirror pattern of scatter: every machine holds one block
+// that must reach the root process. The two-level structure inverts: each
+// cluster first collects its blocks at its coordinator (local phase), then
+// the coordinators ship aggregated bundles to the root across the wide
+// area.
+//
+// The wide-area drain is modelled (and executed) as a rendezvous protocol,
+// which is how MPI moves large messages: the root posts a clear-to-send
+// token to one coordinator at a time, waits for that bundle, then tokens
+// the next. This makes the drain order a genuine scheduling decision — the
+// same single-machine-with-release-dates structure the broadcast paper
+// exploits, with the local gather times as release dates.
+
+// GatherEvent is one wide-area bundle drain.
+type GatherEvent struct {
+	From    int
+	Payload int64
+	// Ready is when the cluster's local gather finished. TokenAt is when
+	// the root's clear-to-send reached the coordinator; Start is when the
+	// bundle transfer begins (max of the two); Done is when the root
+	// holds the bundle.
+	Ready, TokenAt, Start, Done float64
+}
+
+// GatherSchedule is a timed gather schedule.
+type GatherSchedule struct {
+	Strategy string
+	Root     int
+	Events   []GatherEvent
+	Makespan float64
+}
+
+// GatherOrder selects the drain order of the root link.
+type GatherOrder int
+
+const (
+	// GatherIndex drains clusters in index order, ignoring readiness.
+	GatherIndex GatherOrder = iota
+	// GatherEarliestReady drains bundles in the order their local
+	// gathers complete (greedy list scheduling on release dates).
+	GatherEarliestReady
+	// GatherLargestFirst drains the biggest bundles first.
+	GatherLargestFirst
+)
+
+// Gather schedules the two-level gather with the given drain order.
+type Gather struct {
+	Order GatherOrder
+}
+
+// Name returns the strategy's display name.
+func (g Gather) Name() string {
+	switch g.Order {
+	case GatherEarliestReady:
+		return "gather-ready"
+	case GatherLargestFirst:
+		return "gather-largest"
+	default:
+		return "gather-index"
+	}
+}
+
+// Schedule builds the gather schedule for a plan (reusing the scatter
+// plan's bundles and local phase durations, which are symmetric).
+func (g Gather) Schedule(p *Plan) *GatherSchedule {
+	gr := p.Grid
+	n := gr.N()
+	srcs := make([]int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != p.Root {
+			srcs = append(srcs, j)
+		}
+	}
+	switch g.Order {
+	case GatherEarliestReady:
+		sort.SliceStable(srcs, func(a, b int) bool { return p.LocalT[srcs[a]] < p.LocalT[srcs[b]] })
+	case GatherLargestFirst:
+		sort.SliceStable(srcs, func(a, b int) bool { return p.Bundle[srcs[a]] > p.Bundle[srcs[b]] })
+	}
+	sc := &GatherSchedule{Strategy: g.Name(), Root: p.Root}
+	now := 0.0 // root timeline: alternating token sends and bundle receives
+	for _, j := range srcs {
+		tokenAt := now + gr.Gap(p.Root, j, 0) + gr.Latency(p.Root, j)
+		ready := p.LocalT[j]
+		start := math.Max(ready, tokenAt)
+		done := start + gr.Gap(j, p.Root, p.Bundle[j]) + gr.Latency(j, p.Root)
+		now = done
+		sc.Events = append(sc.Events, GatherEvent{
+			From: j, Payload: p.Bundle[j],
+			Ready: ready, TokenAt: tokenAt, Start: start, Done: done,
+		})
+	}
+	sc.Makespan = now
+	// The root's own local gather overlaps the wide-area drain.
+	if t := p.LocalT[p.Root]; t > sc.Makespan {
+		sc.Makespan = t
+	}
+	return sc
+}
+
+// Validate checks gather-schedule invariants.
+func (sc *GatherSchedule) Validate(p *Plan) error {
+	gr := p.Grid
+	n := gr.N()
+	seen := make([]bool, n)
+	seen[sc.Root] = true
+	prevDone := 0.0
+	for k, ev := range sc.Events {
+		if ev.From < 0 || ev.From >= n || ev.From == sc.Root {
+			return fmt.Errorf("collective: gather event %d source invalid", k)
+		}
+		if seen[ev.From] {
+			return fmt.Errorf("collective: gather event %d: cluster %d drained twice", k, ev.From)
+		}
+		if ev.Start+1e-12 < ev.Ready || ev.Start+1e-12 < ev.TokenAt {
+			return fmt.Errorf("collective: gather event %d starts before ready/token", k)
+		}
+		wantToken := prevDone + gr.Gap(sc.Root, ev.From, 0) + gr.Latency(sc.Root, ev.From)
+		if math.Abs(ev.TokenAt-wantToken) > 1e-9 {
+			return fmt.Errorf("collective: gather event %d token timing inconsistent", k)
+		}
+		want := ev.Start + gr.Gap(ev.From, sc.Root, ev.Payload) + gr.Latency(ev.From, sc.Root)
+		if math.Abs(ev.Done-want) > 1e-9 {
+			return fmt.Errorf("collective: gather event %d timing inconsistent", k)
+		}
+		if ev.Payload != p.Bundle[ev.From] {
+			return fmt.Errorf("collective: gather event %d payload %d != bundle %d",
+				k, ev.Payload, p.Bundle[ev.From])
+		}
+		prevDone = ev.Done
+		seen[ev.From] = true
+	}
+	for j := 0; j < n; j++ {
+		if !seen[j] {
+			return fmt.Errorf("collective: cluster %d never drained", j)
+		}
+	}
+	return nil
+}
+
+// GatherStrategies lists the drain orders in display order.
+func GatherStrategies() []Gather {
+	return []Gather{
+		{Order: GatherIndex},
+		{Order: GatherEarliestReady},
+		{Order: GatherLargestFirst},
+	}
+}

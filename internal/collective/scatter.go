@@ -1,0 +1,335 @@
+// Package collective extends the paper's broadcast scheduling to the other
+// collective patterns its conclusion names as future work (§8): scatter,
+// gather and all-to-all "are widely employed by parallel scientific
+// applications and can benefit from grid-aware optimisations".
+//
+// The same two-level structure applies: per-cluster coordinators move
+// aggregated bundles across the wide area, then local phases distribute or
+// collect blocks inside each cluster. Unlike broadcast, payloads are
+// personalised — the bundle for cluster j carries one block per machine of
+// j — so schedules trade off bundle sizes, link speeds and local phase
+// durations rather than a single message size.
+package collective
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Plan is a costed scatter/gather instance: the grid flattened into the
+// quantities scheduling decisions need.
+type Plan struct {
+	// Grid and Root identify the platform and the source cluster.
+	Grid *topology.Grid
+	Root int
+	// BlockSize is the per-destination-process payload (MPI_Scatter's
+	// sendcount in bytes).
+	BlockSize int64
+	// Bundle[j] is the aggregated wide-area payload for cluster j:
+	// BlockSize times the machine count of j.
+	Bundle []int64
+	// LocalT[j] is the duration of cluster j's local phase: the
+	// coordinator delivering one block to each local machine
+	// sequentially (flat local scatter, the standard two-level scheme).
+	LocalT []float64
+}
+
+// NewPlan costs a scatter/gather of blockSize bytes per process rooted at
+// cluster root.
+func NewPlan(g *topology.Grid, root int, blockSize int64) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("collective: root %d out of range", root)
+	}
+	if blockSize < 0 {
+		return nil, fmt.Errorf("collective: negative block size %d", blockSize)
+	}
+	p := &Plan{
+		Grid:      g,
+		Root:      root,
+		BlockSize: blockSize,
+		Bundle:    make([]int64, g.N()),
+		LocalT:    make([]float64, g.N()),
+	}
+	for j, c := range g.Clusters {
+		p.Bundle[j] = blockSize * int64(c.Nodes)
+		p.LocalT[j] = localScatterTime(c, blockSize)
+	}
+	return p, nil
+}
+
+// localScatterTime is the flat local phase: the coordinator sends one
+// block to each of the other Nodes-1 machines; the last block arrives
+// after (Nodes-1)*g(m) + L. Clusters with an explicit BcastTime reuse it
+// as the local phase duration (Monte-Carlo setting).
+func localScatterTime(c topology.Cluster, m int64) float64 {
+	if c.BcastTime > 0 {
+		return c.BcastTime
+	}
+	if c.Nodes <= 1 {
+		return 0
+	}
+	return float64(c.Nodes-1)*c.Intra.Gap(m) + c.Intra.L
+}
+
+// ScatterEvent is one wide-area bundle transmission.
+type ScatterEvent struct {
+	From, To int
+	// Payload is the bundle size in bytes (it can aggregate several
+	// clusters' bundles under the tree strategy).
+	Payload int64
+	// Start/SenderFree/Arrive follow the pLogP semantics used throughout
+	// this repository.
+	Start, SenderFree, Arrive float64
+}
+
+// ScatterSchedule is a timed wide-area scatter schedule.
+type ScatterSchedule struct {
+	Strategy string
+	Root     int
+	Events   []ScatterEvent
+	// Arrive[j] is when cluster j's coordinator holds its bundle.
+	Arrive []float64
+	// Completion[j] = Arrive[j] + LocalT[j] (the root's local phase
+	// starts after its last wide-area send).
+	Completion []float64
+	Makespan   float64
+}
+
+// ScatterStrategy orders (and possibly routes) the wide-area bundles.
+type ScatterStrategy interface {
+	Name() string
+	Schedule(p *Plan) *ScatterSchedule
+}
+
+// ---------------------------------------------------------------------------
+// Direct strategies: the root sends every bundle itself; only the order
+// differs. With sequential dispatch and per-destination tails
+// (latency + local phase), ordering by the longest tail first is the
+// classic delivery-time rule.
+
+// DirectOrder selects the dispatch order of a direct scatter.
+type DirectOrder int
+
+const (
+	// OrderIndex dispatches in cluster-index order (the naive baseline,
+	// analogous to the broadcast Flat Tree).
+	OrderIndex DirectOrder = iota
+	// OrderLongestTail dispatches the destination with the largest
+	// remaining work (L + local phase) first — optimal for one-source
+	// sequential dispatch with independent tails.
+	OrderLongestTail
+	// OrderShortestTail is the adversarial ablation.
+	OrderShortestTail
+)
+
+// Direct is a root-only scatter with a configurable dispatch order.
+type Direct struct {
+	Order DirectOrder
+}
+
+// Name implements ScatterStrategy.
+func (d Direct) Name() string {
+	switch d.Order {
+	case OrderLongestTail:
+		return "direct-LTF"
+	case OrderShortestTail:
+		return "direct-STF"
+	default:
+		return "direct-index"
+	}
+}
+
+// Schedule implements ScatterStrategy.
+func (d Direct) Schedule(p *Plan) *ScatterSchedule {
+	n := p.Grid.N()
+	dests := make([]int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != p.Root {
+			dests = append(dests, j)
+		}
+	}
+	tail := func(j int) float64 { return p.Grid.Latency(p.Root, j) + p.LocalT[j] }
+	switch d.Order {
+	case OrderLongestTail:
+		sort.SliceStable(dests, func(a, b int) bool { return tail(dests[a]) > tail(dests[b]) })
+	case OrderShortestTail:
+		sort.SliceStable(dests, func(a, b int) bool { return tail(dests[a]) < tail(dests[b]) })
+	}
+	sc := &ScatterSchedule{
+		Strategy:   d.Name(),
+		Root:       p.Root,
+		Arrive:     make([]float64, n),
+		Completion: make([]float64, n),
+	}
+	now := 0.0
+	for _, j := range dests {
+		gap := p.Grid.Gap(p.Root, j, p.Bundle[j])
+		ev := ScatterEvent{
+			From: p.Root, To: j, Payload: p.Bundle[j],
+			Start: now, SenderFree: now + gap,
+			Arrive: now + gap + p.Grid.Latency(p.Root, j),
+		}
+		now = ev.SenderFree
+		sc.Events = append(sc.Events, ev)
+		sc.Arrive[j] = ev.Arrive
+	}
+	finishScatter(p, sc, now)
+	return sc
+}
+
+// ---------------------------------------------------------------------------
+// Tree strategy: recursive splitting — the root hands half the clusters'
+// bundles (aggregated) to a representative of that half, then both recurse.
+// This is the binomial scatter generalised to heterogeneous bundles: total
+// wide-area traffic grows (relays forward other clusters' data) but the
+// root's serial dispatch shrinks from N-1 bundles to log N aggregates.
+
+// Tree is the recursive-halving scatter.
+type Tree struct{}
+
+// Name implements ScatterStrategy.
+func (Tree) Name() string { return "tree" }
+
+// Schedule implements ScatterStrategy.
+func (Tree) Schedule(p *Plan) *ScatterSchedule {
+	n := p.Grid.N()
+	sc := &ScatterSchedule{
+		Strategy:   "tree",
+		Root:       p.Root,
+		Arrive:     make([]float64, n),
+		Completion: make([]float64, n),
+	}
+	// Cluster list with the root first; recursion owns contiguous spans.
+	order := make([]int, 0, n)
+	for d := 0; d < n; d++ {
+		order = append(order, (p.Root+d)%n)
+	}
+	var rec func(span []int, at float64)
+	rec = func(span []int, at float64) {
+		if len(span) <= 1 {
+			return
+		}
+		holder := span[0]
+		// Split off the far half and send its aggregated bundles to its
+		// first cluster.
+		mid := (len(span) + 1) / 2
+		far := span[mid:]
+		rep := far[0]
+		var payload int64
+		for _, j := range far {
+			payload += p.Bundle[j]
+		}
+		gap := p.Grid.Gap(holder, rep, payload)
+		ev := ScatterEvent{
+			From: holder, To: rep, Payload: payload,
+			Start: at, SenderFree: at + gap,
+			Arrive: at + gap + p.Grid.Latency(holder, rep),
+		}
+		sc.Events = append(sc.Events, ev)
+		sc.Arrive[rep] = ev.Arrive
+		rec(span[:mid], ev.SenderFree)
+		rec(far, ev.Arrive)
+	}
+	rec(order, 0)
+	// The root goes idle after its last send.
+	idle := 0.0
+	for _, ev := range sc.Events {
+		if ev.From == p.Root && ev.SenderFree > idle {
+			idle = ev.SenderFree
+		}
+	}
+	finishScatter(p, sc, idle)
+	return sc
+}
+
+// finishScatter fills completions; rootIdle is when the root's coordinator
+// finished its wide-area sends and can run its own local phase.
+func finishScatter(p *Plan, sc *ScatterSchedule, rootIdle float64) {
+	n := p.Grid.N()
+	for j := 0; j < n; j++ {
+		start := sc.Arrive[j]
+		if j == sc.Root {
+			start = rootIdle
+		}
+		// Relay clusters start their local phase after their own last
+		// forward.
+		for _, ev := range sc.Events {
+			if ev.From == j && ev.SenderFree > start {
+				start = ev.SenderFree
+			}
+		}
+		sc.Completion[j] = start + p.LocalT[j]
+		if sc.Completion[j] > sc.Makespan {
+			sc.Makespan = sc.Completion[j]
+		}
+	}
+}
+
+// Validate checks scatter-schedule invariants: every non-root cluster's
+// bundle arrives exactly once (directly or aggregated through relays), no
+// sender overlap, consistent timing.
+func (sc *ScatterSchedule) Validate(p *Plan) error {
+	n := p.Grid.N()
+	if len(sc.Arrive) != n {
+		return fmt.Errorf("collective: arrive vector has %d entries, want %d", len(sc.Arrive), n)
+	}
+	received := make([]bool, n)
+	received[sc.Root] = true
+	lastFree := make([]float64, n)
+	for k, ev := range sc.Events {
+		if ev.From < 0 || ev.From >= n || ev.To < 0 || ev.To >= n || ev.From == ev.To {
+			return fmt.Errorf("collective: event %d endpoints invalid", k)
+		}
+		if !received[ev.From] {
+			return fmt.Errorf("collective: event %d: relay %d has no data yet", k, ev.From)
+		}
+		if received[ev.To] {
+			return fmt.Errorf("collective: event %d: cluster %d served twice", k, ev.To)
+		}
+		if ev.Start+1e-12 < lastFree[ev.From] {
+			return fmt.Errorf("collective: event %d: sender %d overlaps", k, ev.From)
+		}
+		gap := p.Grid.Gap(ev.From, ev.To, ev.Payload)
+		if math.Abs(ev.SenderFree-(ev.Start+gap)) > 1e-9 ||
+			math.Abs(ev.Arrive-(ev.SenderFree+p.Grid.Latency(ev.From, ev.To))) > 1e-9 {
+			return fmt.Errorf("collective: event %d timing inconsistent", k)
+		}
+		if ev.Payload < p.Bundle[ev.To] {
+			return fmt.Errorf("collective: event %d payload %d below destination bundle %d",
+				k, ev.Payload, p.Bundle[ev.To])
+		}
+		lastFree[ev.From] = ev.SenderFree
+		received[ev.To] = true
+	}
+	for j := 0; j < n; j++ {
+		if !received[j] {
+			return fmt.Errorf("collective: cluster %d never receives its bundle", j)
+		}
+	}
+	var worst float64
+	for _, c := range sc.Completion {
+		if c > worst {
+			worst = c
+		}
+	}
+	if math.Abs(worst-sc.Makespan) > 1e-9 {
+		return fmt.Errorf("collective: makespan %g != max completion %g", sc.Makespan, worst)
+	}
+	return nil
+}
+
+// ScatterStrategies lists the implemented strategies in display order.
+func ScatterStrategies() []ScatterStrategy {
+	return []ScatterStrategy{
+		Direct{Order: OrderIndex},
+		Direct{Order: OrderLongestTail},
+		Direct{Order: OrderShortestTail},
+		Tree{},
+	}
+}

@@ -1,0 +1,10 @@
+package collective
+
+import "repro/internal/topology"
+
+// Local aliases keep signatures in this package short; the canonical types
+// live in repro/internal/topology.
+type (
+	grid    = topology.Grid
+	cluster = topology.Cluster
+)

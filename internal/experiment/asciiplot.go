@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotMarks assigns one rune per series, cycling if there are many.
+var plotMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '~', '^'}
+
+// AsciiPlot renders the figure as a rows x cols character plot with axes
+// and a legend — enough to eyeball the curve shapes the paper's figures
+// show without leaving the terminal.
+func (f *Figure) AsciiPlot(rows, cols int) string {
+	if rows < 5 {
+		rows = 5
+	}
+	if cols < 20 {
+		cols = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	count := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			count++
+		}
+	}
+	if count == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range f.Series {
+		mark := plotMarks[si%len(plotMarks)]
+		for _, p := range s.Points {
+			c := int(float64(cols-1) * (p.X - minX) / (maxX - minX))
+			r := rows - 1 - int(float64(rows-1)*(p.Y-minY)/(maxY-minY))
+			grid[r][c] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", maxY)
+		case rows - 1:
+			label = fmt.Sprintf("%9.3g ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s%9.3g%s%9.3g (%s)\n", strings.Repeat(" ", 1), minX,
+		strings.Repeat(" ", max(1, cols-16)), maxX, f.XLabel)
+	b.WriteString("legend:")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c=%s", plotMarks[si%len(plotMarks)], s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,160 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§6 simulation study and §7 practical evaluation), using the
+// heuristics of internal/sched, the random platforms of internal/topology
+// and the simulated MPI runtime of internal/mpi.
+//
+// Each FigN function returns a Figure — a set of named series — that the
+// writers in this package can emit as gnuplot-style .dat files, CSV, or a
+// quick ASCII plot. cmd/simfigs wires them to the command line and
+// bench_test.go at the repository root exposes one benchmark per figure.
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Point is one sample of a series; CI is the half-width of the 95%
+// confidence interval (0 when not applicable).
+type Point struct {
+	X, Y, CI float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced figure or table: several series over a shared
+// x-axis.
+type Figure struct {
+	ID     string // e.g. "fig1"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteDAT emits a gnuplot-style whitespace table: first column x, then one
+// column per series (and one per non-zero CI), with a commented header.
+// Series are aligned on the union of x values; missing samples print NaN.
+func (f *Figure) WriteDAT(w io.Writer) error {
+	xs := f.unionX()
+	var b strings.Builder
+	b.WriteString("# " + f.Title + "\n")
+	b.WriteString("# x")
+	for _, s := range f.Series {
+		b.WriteString("\t" + strings.ReplaceAll(s.Name, " ", "_"))
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		for _, s := range f.Series {
+			y, ok := s.at(x)
+			if !ok {
+				b.WriteString("\tNaN")
+			} else {
+				b.WriteString("\t" + strconv.FormatFloat(y, 'g', -1, 64))
+			}
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits long-format CSV: series,x,y,ci.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y", "ci95"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+				strconv.FormatFloat(p.CI, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (f *Figure) unionX() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+func (s *Series) at(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// SeriesByName returns the named series, or nil.
+func (f *Figure) SeriesByName(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders a compact textual table of the figure (x along rows).
+func (f *Figure) Summary() string {
+	xs := f.unionX()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", truncate(s.Name, 14))
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-10.4g", x)
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				fmt.Fprintf(&b, " %14.5g", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func demoFigure() *Figure {
+	return &Figure{
+		ID:     "demo",
+		Title:  "demo figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}}},
+			{Name: "b", Points: []Point{{X: 2, Y: 5, CI: 0.5}, {X: 3, Y: 7}}},
+		},
+	}
+}
+
+func TestWriteDATAlignsSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoFigure().WriteDAT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 2 header comments + union of x = {1,2,3}
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "#") || !strings.Contains(lines[1], "a\tb") {
+		t.Errorf("header wrong: %q %q", lines[0], lines[1])
+	}
+	if !strings.Contains(lines[2], "NaN") { // x=1 has no b sample
+		t.Errorf("missing NaN for absent sample: %q", lines[2])
+	}
+	if fields := strings.Split(lines[3], "\t"); fields[0] != "2" || fields[1] != "20" || fields[2] != "5" {
+		t.Errorf("x=2 row wrong: %v", fields)
+	}
+}
+
+func TestWriteCSVLongFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoFigure().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // header + 4 points
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[3][0] != "b" || rows[3][3] != "0.5" {
+		t.Errorf("CI row wrong: %v", rows[3])
+	}
+}
+
+func TestSeriesByName(t *testing.T) {
+	f := demoFigure()
+	if f.SeriesByName("a") == nil || f.SeriesByName("zzz") != nil {
+		t.Error("SeriesByName wrong")
+	}
+}
+
+func TestSummaryRendersAllSeries(t *testing.T) {
+	out := demoFigure().Summary()
+	for _, want := range []string{"demo", "a", "b", "20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	out := demoFigure().AsciiPlot(10, 40)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("plot missing marks:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("plot missing legend")
+	}
+	empty := &Figure{ID: "e"}
+	if !strings.Contains(empty.AsciiPlot(5, 20), "no data") {
+		t.Error("empty plot should say so")
+	}
+	// Degenerate single point must not divide by zero.
+	single := &Figure{Series: []Series{{Name: "s", Points: []Point{{X: 1, Y: 1}}}}}
+	if out := single.AsciiPlot(5, 20); !strings.Contains(out, "*") {
+		t.Errorf("single point plot:\n%s", out)
+	}
+}

@@ -1,0 +1,262 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+// testMC returns a Monte-Carlo config small enough for unit tests but large
+// enough that the paper's orderings are statistically stable.
+func testMC() MonteCarlo {
+	return MonteCarlo{Iterations: 300, Seed: 42, Workers: 4}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	fig := testMC().Fig1()
+	flat := fig.SeriesByName("FlatTree")
+	fef := fig.SeriesByName("FEF")
+	ecefLA := fig.SeriesByName("ECEF-LA")
+	bu := fig.SeriesByName("BottomUp")
+	if flat == nil || fef == nil || ecefLA == nil || bu == nil {
+		t.Fatal("missing series")
+	}
+	if len(flat.Points) != 9 {
+		t.Fatalf("x axis = %d points, want 9 (2..10)", len(flat.Points))
+	}
+	// Paper's Figure 1 orderings at 10 clusters: FlatTree worst,
+	// FEF worse than the ECEF family, BottomUp better than FEF.
+	last := len(flat.Points) - 1
+	if !(flat.Points[last].Y > fef.Points[last].Y) {
+		t.Errorf("FlatTree (%g) should be worst, FEF %g", flat.Points[last].Y, fef.Points[last].Y)
+	}
+	if !(fef.Points[last].Y > ecefLA.Points[last].Y) {
+		t.Errorf("FEF (%g) should lose to ECEF-LA (%g)", fef.Points[last].Y, ecefLA.Points[last].Y)
+	}
+	if !(bu.Points[last].Y < fef.Points[last].Y) {
+		t.Errorf("BottomUp (%g) should beat FEF (%g)", bu.Points[last].Y, fef.Points[last].Y)
+	}
+	// Flat tree grows roughly linearly with cluster count: mean at 10
+	// clusters must clearly exceed the mean at 2.
+	if flat.Points[last].Y < 2*flat.Points[0].Y {
+		t.Errorf("FlatTree not growing: %g -> %g", flat.Points[0].Y, flat.Points[last].Y)
+	}
+}
+
+func TestFig2FlatTreeDominatesGrowth(t *testing.T) {
+	mc := testMC()
+	mc.Iterations = 120
+	fig := mc.Fig2()
+	flat := fig.SeriesByName("FlatTree")
+	ecef := fig.SeriesByName("ECEF")
+	if len(flat.Points) != 10 {
+		t.Fatalf("x axis = %d points, want 10 (5..50)", len(flat.Points))
+	}
+	last := len(flat.Points) - 1
+	// At 50 clusters FlatTree is several times the ECEF family (paper
+	// shows ~18s vs ~3.3s).
+	if flat.Points[last].Y < 3*ecef.Points[last].Y {
+		t.Errorf("FlatTree/ECEF ratio too small: %g / %g", flat.Points[last].Y, ecef.Points[last].Y)
+	}
+	// The ECEF family stays nearly flat in cluster count (paper: 3.0-3.7s
+	// over the whole range): allow a generous 50% growth.
+	if ecef.Points[last].Y > 1.5*ecef.Points[0].Y {
+		t.Errorf("ECEF grows too fast: %g -> %g", ecef.Points[0].Y, ecef.Points[last].Y)
+	}
+}
+
+func TestFig3OnlyECEFFamily(t *testing.T) {
+	mc := testMC()
+	mc.Iterations = 60
+	fig := mc.Fig3()
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if s.Name == "FlatTree" || s.Name == "FEF" || s.Name == "BottomUp" {
+			t.Errorf("unexpected series %s", s.Name)
+		}
+	}
+}
+
+func TestFig4HitRates(t *testing.T) {
+	mc := testMC()
+	mc.Iterations = 250
+	fig := mc.Fig4()
+	lat := fig.SeriesByName("ECEF-LAT")
+	ecef := fig.SeriesByName("ECEF")
+	if lat == nil || ecef == nil {
+		t.Fatal("missing series")
+	}
+	// Hit counts are bounded by the iteration count and positive.
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > float64(mc.Iterations) {
+				t.Fatalf("%s hit count %g outside [0,%d]", s.Name, p.Y, mc.Iterations)
+			}
+		}
+	}
+	// Paper's core claim: ECEF-LAT's hit rate stays roughly constant
+	// while ECEF's decays; by 50 clusters ECEF-LAT should hit at least as
+	// often as ECEF.
+	last := len(lat.Points) - 1
+	if lat.Points[last].Y < ecef.Points[last].Y {
+		t.Errorf("at 50 clusters: ECEF-LAT %g hits < ECEF %g", lat.Points[last].Y, ecef.Points[last].Y)
+	}
+	// And ECEF's hit rate must decay from 5 to 50 clusters.
+	if ecef.Points[last].Y >= ecef.Points[0].Y {
+		t.Errorf("ECEF hit rate did not decay: %g -> %g", ecef.Points[0].Y, ecef.Points[last].Y)
+	}
+}
+
+func TestMonteCarloDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := MonteCarlo{Iterations: 50, Seed: 7, Workers: 1}.Fig3()
+	b := MonteCarlo{Iterations: 50, Seed: 7, Workers: 8}.Fig3()
+	for si := range a.Series {
+		for pi := range a.Series[si].Points {
+			ya, yb := a.Series[si].Points[pi].Y, b.Series[si].Points[pi].Y
+			if math.Abs(ya-yb) > 1e-9*(1+math.Abs(ya)) {
+				t.Fatalf("series %s point %d: %g vs %g", a.Series[si].Name, pi, ya, yb)
+			}
+		}
+	}
+}
+
+func TestOptimalGap(t *testing.T) {
+	mc := MonteCarlo{Iterations: 25, Seed: 5}
+	names, accs := mc.OptimalGap(5)
+	if len(names) != len(accs) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range names {
+		if accs[i].Mean() < 1-1e-9 {
+			t.Errorf("%s: mean ratio %g below 1 (heuristic beat optimal?)", names[i], accs[i].Mean())
+		}
+		if accs[i].Mean() > 3 {
+			t.Errorf("%s: mean ratio %g implausibly large", names[i], accs[i].Mean())
+		}
+	}
+}
+
+func TestFig5PredictedShapes(t *testing.T) {
+	fig, err := Fig5(PracticalConfig{Sizes: []int64{1 << 20, 4 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := fig.SeriesByName("FlatTree")
+	ecef := fig.SeriesByName("ECEF")
+	if flat == nil || ecef == nil {
+		t.Fatal("missing series")
+	}
+	// At 4 MB the flat tree should be several times slower than ECEF
+	// (the paper reports ~6x).
+	if flat.Points[1].Y < 2*ecef.Points[1].Y {
+		t.Errorf("FlatTree %g vs ECEF %g at 4MB: ratio too small", flat.Points[1].Y, ecef.Points[1].Y)
+	}
+	// Monotone in message size.
+	for _, s := range fig.Series {
+		if s.Points[0].Y >= s.Points[1].Y {
+			t.Errorf("%s not monotone in size", s.Name)
+		}
+	}
+}
+
+func TestFig6MeasuredMatchesFig5OnIdealNetwork(t *testing.T) {
+	cfg := PracticalConfig{Sizes: []int64{1 << 20}}
+	pred, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"FlatTree", "ECEF", "ECEF-LAT", "BottomUp"} {
+		p := pred.SeriesByName(name).Points[0].Y
+		m := meas.SeriesByName(name).Points[0].Y
+		if math.Abs(p-m) > 1e-9 {
+			t.Errorf("%s: predicted %g != measured %g on ideal network", name, p, m)
+		}
+	}
+	lam := meas.SeriesByName("Default LAM")
+	if lam == nil {
+		t.Fatal("missing Default LAM series")
+	}
+	// The grid-unaware binomial must lose to the best schedule-based
+	// heuristic (paper's Figure 6 story).
+	best := math.Inf(1)
+	for _, name := range []string{"ECEF", "ECEF-LA", "ECEF-LAt", "ECEF-LAT"} {
+		best = math.Min(best, meas.SeriesByName(name).Points[0].Y)
+	}
+	if lam.Points[0].Y <= best {
+		t.Errorf("Default LAM %g should lose to best heuristic %g", lam.Points[0].Y, best)
+	}
+}
+
+func TestFig6WithJitterStaysClose(t *testing.T) {
+	cfg := PracticalConfig{
+		Sizes: []int64{1 << 20},
+		Net:   vnet.Config{Jitter: 0.03, Seed: 17},
+	}
+	meas, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Fig5(PracticalConfig{Sizes: cfg.Sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"FlatTree", "ECEF"} {
+		p := pred.SeriesByName(name).Points[0].Y
+		m := meas.SeriesByName(name).Points[0].Y
+		if math.Abs(p-m) > 0.15*p {
+			t.Errorf("%s: jittered measurement %g too far from prediction %g", name, m, p)
+		}
+	}
+}
+
+func TestTable3Reproduction(t *testing.T) {
+	res, err := Table3(0.3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MatchesPaper {
+		t.Fatalf("partition does not match Table 3: sizes %v", res.Sizes)
+	}
+	want := []int{31, 29, 20, 6, 1, 1}
+	for i := range want {
+		if res.Sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", res.Sizes, want)
+		}
+	}
+	out := res.Render()
+	if len(out) == 0 || res.Latency[0][0] == res.Latency[0][1] {
+		t.Error("render or latency matrix degenerate")
+	}
+}
+
+func TestTable3WithJitter(t *testing.T) {
+	res, err := Table3(0.3, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MatchesPaper {
+		t.Errorf("1%% jitter broke Table 3 recovery: sizes %v", res.Sizes)
+	}
+}
+
+func TestCustomGridFig5(t *testing.T) {
+	g := topology.Grid5000()
+	fig, err := Fig5(PracticalConfig{Grid: g, Root: 5, Sizes: []int64{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("no series")
+	}
+	if _, err := Fig5(PracticalConfig{Grid: &topology.Grid{}}); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}

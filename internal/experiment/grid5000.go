@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clusterer"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+// DefaultSizes is the message-size sweep of Figures 5 and 6 (the paper
+// plots 0–4.5 MB).
+var DefaultSizes = []int64{
+	64 << 10, 256 << 10, 512 << 10, 1 << 20, 3 << 19, /* 1.5 MB */
+	2 << 20, 5 << 19 /* 2.5 MB */, 3 << 20, 7 << 19 /* 3.5 MB */, 4 << 20, 9 << 19, /* 4.5 MB */
+}
+
+// PracticalConfig drives the §7 reproduction on the Table 3 platform.
+type PracticalConfig struct {
+	// Grid defaults to topology.Grid5000().
+	Grid *topology.Grid
+	// Root is the broadcasting cluster (default 0, the 31-node Orsay
+	// cluster whose coordinator plays the paper's root process).
+	Root int
+	// Sizes defaults to DefaultSizes.
+	Sizes []int64
+	// Net configures the measured runs of Fig6 (jitter, software
+	// overhead). Zero reproduces predictions exactly.
+	Net vnet.Config
+}
+
+func (c PracticalConfig) grid() *topology.Grid {
+	if c.Grid != nil {
+		return c.Grid
+	}
+	return topology.Grid5000()
+}
+
+func (c PracticalConfig) sizes() []int64 {
+	if len(c.Sizes) > 0 {
+		return c.Sizes
+	}
+	return DefaultSizes
+}
+
+// Fig5 reproduces Figure 5: the *predicted* completion time of every
+// heuristic on the 88-machine grid as a function of message size, straight
+// from the analytic pLogP model.
+func Fig5(cfg PracticalConfig) (*Figure, error) {
+	g := cfg.grid()
+	hs := sched.Paper()
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "predicted broadcast time, 88-machine grid (Figure 5)",
+		XLabel: "message size (bytes)",
+		YLabel: "completion time (s)",
+		Series: make([]Series, len(hs)),
+	}
+	for hi, h := range hs {
+		fig.Series[hi].Name = h.Name()
+	}
+	for _, m := range cfg.sizes() {
+		p, err := sched.NewProblem(g, cfg.Root, m, sched.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for hi, h := range hs {
+			fig.Series[hi].Points = append(fig.Series[hi].Points, Point{
+				X: float64(m),
+				Y: h.Schedule(p).Makespan,
+			})
+		}
+	}
+	return fig, nil
+}
+
+// Fig6 reproduces Figure 6: the *measured* completion time — every message
+// of the broadcast is executed on the virtual network — plus the
+// grid-unaware binomial tree the paper labels "Defaut LAM".
+func Fig6(cfg PracticalConfig) (*Figure, error) {
+	g := cfg.grid()
+	hs := sched.Paper()
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "measured broadcast time, 88-machine grid (Figure 6)",
+		XLabel: "message size (bytes)",
+		YLabel: "completion time (s)",
+	}
+	lam := Series{Name: "Default LAM"}
+	for _, m := range cfg.sizes() {
+		res, err := mpi.ExecuteBinomialGridUnaware(g, cfg.Root, m, mpi.Options{Net: cfg.Net})
+		if err != nil {
+			return nil, err
+		}
+		lam.Points = append(lam.Points, Point{X: float64(m), Y: res.Makespan})
+	}
+	fig.Series = append(fig.Series, lam)
+
+	for _, h := range hs {
+		s := Series{Name: h.Name()}
+		for _, m := range cfg.sizes() {
+			p, err := sched.NewProblem(g, cfg.Root, m, sched.Options{})
+			if err != nil {
+				return nil, err
+			}
+			res, err := mpi.ExecuteSchedule(g, h.Schedule(p), m, mpi.Options{Net: cfg.Net})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(m), Y: res.Makespan})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Table3Result is the outcome of reproducing Table 3.
+type Table3Result struct {
+	// Assignment maps each of the 88 machines to its logical cluster.
+	Assignment []int
+	// Sizes are the cluster sizes, largest first.
+	Sizes []int
+	// MatchesPaper reports whether the partition equals the paper's
+	// (31, 29, 20, 6, 1, 1 with the published memberships).
+	MatchesPaper bool
+	// Latency is the recovered cluster-to-cluster latency matrix
+	// (seconds), using each pair's mean node-to-node latency.
+	Latency [][]float64
+	// Names labels the recovered clusters after their dominant site.
+	Names []string
+}
+
+// Table3 reproduces the paper's Table 3: Lowekamp clustering of the 88
+// GRID5000 machines at tolerance rho (the paper uses 0.30), on a synthetic
+// node-to-node matrix derived from the published cluster matrix with the
+// given measurement jitter.
+func Table3(rho, jitter float64, seed int64) (*Table3Result, error) {
+	var r = stats.NewRand(seed)
+	matrix, truth := topology.Grid5000NodeMatrix(r, jitter)
+	assign, err := clusterer.Cluster(matrix, rho)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{
+		Assignment:   assign,
+		Sizes:        clusterer.Sizes(assign),
+		MatchesPaper: clusterer.SameClusters(assign, truth),
+	}
+	groups := clusterer.Groups(assign)
+	k := len(groups)
+	res.Latency = make([][]float64, k)
+	res.Names = make([]string, k)
+	g5 := topology.Grid5000()
+	for i, gi := range groups {
+		res.Names[i] = fmt.Sprintf("%s (%d nodes)", g5.Clusters[truth[gi[0]]].Name, len(gi))
+		res.Latency[i] = make([]float64, k)
+		for j, gj := range groups {
+			var acc stats.Accumulator
+			for _, a := range gi {
+				for _, b := range gj {
+					if a != b {
+						acc.Add(matrix[a][b])
+					}
+				}
+			}
+			res.Latency[i][j] = acc.Mean()
+		}
+	}
+	return res, nil
+}
+
+// Render prints the recovered Table 3 in the paper's layout (µs).
+func (t *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — latency between recovered logical clusters (µs)\n")
+	fmt.Fprintf(&b, "%-22s", "")
+	for j := range t.Names {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("Cluster %d", j))
+	}
+	b.WriteString("\n")
+	for i, name := range t.Names {
+		fmt.Fprintf(&b, "%-22s", name)
+		for j := range t.Names {
+			if i == j && t.Sizes != nil && len(t.Latency[i]) > j && t.Latency[i][j] == 0 {
+				fmt.Fprintf(&b, " %10s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %10.2f", t.Latency[i][j]*1e6)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "partition matches the paper: %v\n", t.MatchesPaper)
+	return b.String()
+}

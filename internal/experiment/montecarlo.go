@@ -1,0 +1,253 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// MonteCarlo configures the §6 simulation study: random platforms drawn
+// from Table 2, many iterations, averaged completion times.
+type MonteCarlo struct {
+	// Iterations per cluster count; the paper uses 10000. Default 10000.
+	Iterations int
+	// Seed makes the whole study reproducible. Iteration k always uses
+	// the stream stats.SplitSeed(Seed, k) regardless of worker count.
+	Seed int64
+	// Workers bounds parallelism (default GOMAXPROCS). Results are
+	// deterministic for any worker count.
+	Workers int
+	// MsgSize is the broadcast payload; the paper simulates 1 MB, and
+	// Table 2's gap range is calibrated for that size. Default 1 MB.
+	MsgSize int64
+	// Symmetric draws symmetric link matrices instead of independent
+	// directions (ablation; the paper does not specify). Default false.
+	Symmetric bool
+	// Root, when >= 0, fixes the root cluster; -1 draws it uniformly.
+	// Default 0 (the paper broadcasts from a fixed root).
+	Root int
+}
+
+func (mc MonteCarlo) iterations() int {
+	if mc.Iterations <= 0 {
+		return 10000
+	}
+	return mc.Iterations
+}
+
+func (mc MonteCarlo) workers() int {
+	if mc.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return mc.Workers
+}
+
+func (mc MonteCarlo) msgSize() int64 {
+	if mc.MsgSize <= 0 {
+		return 1 << 20
+	}
+	return mc.MsgSize
+}
+
+// meanCompletion runs the Monte-Carlo study for one cluster count and
+// returns one accumulator per heuristic.
+func (mc MonteCarlo) meanCompletion(hs []sched.Heuristic, n int) []stats.Accumulator {
+	iters := mc.iterations()
+	nw := mc.workers()
+	perWorker := make([][]stats.Accumulator, nw)
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		perWorker[w] = make([]stats.Accumulator, len(hs))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := perWorker[w]
+			for it := w; it < iters; it += nw {
+				p := mc.instance(n, it)
+				for hi, h := range hs {
+					acc[hi].Add(h.Schedule(p).Makespan)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := make([]stats.Accumulator, len(hs))
+	for hi := range hs {
+		for w := 0; w < nw; w++ {
+			out[hi].Merge(&perWorker[w][hi])
+		}
+	}
+	return out
+}
+
+// instance draws the it-th random problem for n clusters.
+func (mc MonteCarlo) instance(n, it int) *sched.Problem {
+	r := stats.NewRand(stats.SplitSeed(mc.Seed, int64(it)*1000003+int64(n)))
+	var g *topology.Grid
+	if mc.Symmetric {
+		g = topology.RandomSymmetricGrid(r, n)
+	} else {
+		g = topology.RandomGrid(r, n)
+	}
+	root := mc.Root
+	if root < 0 {
+		root = r.Intn(n)
+	}
+	return sched.MustProblem(g, root, mc.msgSize(), sched.Options{Overlap: true})
+}
+
+// sweep runs meanCompletion over a list of cluster counts and assembles a
+// Figure with one series per heuristic.
+func (mc MonteCarlo) sweep(id, title string, hs []sched.Heuristic, counts []int) *Figure {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "clusters",
+		YLabel: "completion time (s)",
+		Series: make([]Series, len(hs)),
+	}
+	for hi, h := range hs {
+		fig.Series[hi].Name = h.Name()
+	}
+	for _, n := range counts {
+		accs := mc.meanCompletion(hs, n)
+		for hi := range hs {
+			fig.Series[hi].Points = append(fig.Series[hi].Points, Point{
+				X:  float64(n),
+				Y:  accs[hi].Mean(),
+				CI: accs[hi].CI95(),
+			})
+		}
+	}
+	return fig
+}
+
+// Fig1 reproduces Figure 1: average completion time of a 1 MB broadcast for
+// 2–10 clusters, all seven heuristics, 10000 iterations per point.
+func (mc MonteCarlo) Fig1() *Figure {
+	return mc.sweep("fig1", "1 MB broadcast, reduced number of clusters (Figure 1)",
+		sched.Paper(), seq(2, 10, 1))
+}
+
+// Fig2 reproduces Figure 2: the same study stretched to 5–50 clusters.
+func (mc MonteCarlo) Fig2() *Figure {
+	return mc.sweep("fig2", "1 MB broadcast, up to 50 clusters (Figure 2)",
+		sched.Paper(), seq(5, 50, 5))
+}
+
+// Fig3 reproduces Figure 3: close-up on the four ECEF-like heuristics.
+func (mc MonteCarlo) Fig3() *Figure {
+	return mc.sweep("fig3", "ECEF-like heuristics close-up (Figure 3)",
+		sched.ECEFFamily(), seq(5, 50, 5))
+}
+
+// Fig4 reproduces Figure 4: for each cluster count, how many of the
+// Iterations runs each ECEF-like heuristic matches the global minimum —
+// the best makespan any of the compared heuristics achieves on that
+// instance (ties count for every heuristic achieving the minimum, which is
+// why the series can sum to more than Iterations).
+func (mc MonteCarlo) Fig4() *Figure {
+	hs := sched.ECEFFamily()
+	fig := &Figure{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("hit rate on %d iterations (Figure 4)", mc.iterations()),
+		XLabel: "clusters",
+		YLabel: "number of hits",
+		Series: make([]Series, len(hs)),
+	}
+	for hi, h := range hs {
+		fig.Series[hi].Name = h.Name()
+	}
+	for _, n := range seq(5, 50, 5) {
+		hits := mc.hitCounts(hs, n)
+		for hi := range hs {
+			fig.Series[hi].Points = append(fig.Series[hi].Points, Point{
+				X: float64(n),
+				Y: float64(hits[hi]),
+			})
+		}
+	}
+	return fig
+}
+
+// hitCounts counts, per heuristic, how often it attains the global minimum.
+func (mc MonteCarlo) hitCounts(hs []sched.Heuristic, n int) []int64 {
+	const tol = 1e-9
+	iters := mc.iterations()
+	nw := mc.workers()
+	perWorker := make([][]int64, nw)
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		perWorker[w] = make([]int64, len(hs))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts := perWorker[w]
+			spans := make([]float64, len(hs))
+			for it := w; it < iters; it += nw {
+				p := mc.instance(n, it)
+				best := 0.0
+				for hi, h := range hs {
+					spans[hi] = h.Schedule(p).Makespan
+					if hi == 0 || spans[hi] < best {
+						best = spans[hi]
+					}
+				}
+				for hi := range hs {
+					if spans[hi] <= best+tol {
+						counts[hi]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := make([]int64, len(hs))
+	for _, counts := range perWorker {
+		for hi, c := range counts {
+			out[hi] += c
+		}
+	}
+	return out
+}
+
+// OptimalGap measures, over the Monte-Carlo distribution at n clusters
+// (n <= sched.MaxOptimalClusters), the mean ratio heuristic/optimal
+// makespan per heuristic — an ablation the paper sidesteps by using the
+// global minimum.
+func (mc MonteCarlo) OptimalGap(n int) ([]string, []stats.Accumulator) {
+	if n > sched.MaxOptimalClusters {
+		panic(fmt.Sprintf("experiment: OptimalGap limited to %d clusters", sched.MaxOptimalClusters))
+	}
+	hs := sched.Paper()
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.Name()
+	}
+	accs := make([]stats.Accumulator, len(hs))
+	for it := 0; it < mc.iterations(); it++ {
+		p := mc.instance(n, it)
+		opt := (sched.Optimal{}).Schedule(p).Makespan
+		for hi, h := range hs {
+			accs[hi].Add(h.Schedule(p).Makespan / opt)
+		}
+	}
+	return names, accs
+}
+
+// seq returns lo, lo+step, ..., hi.
+func seq(lo, hi, step int) []int {
+	var out []int
+	for n := lo; n <= hi; n += step {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package measure reproduces the pLogP parameter acquisition the paper
+// relies on ("fast measurement of LogP parameters", Kielmann et al., RTSPP
+// 2000): the latency L and the gap function g(m) of a link are derived from
+// benchmarks rather than read from a datasheet.
+//
+// The paper extended MagPIe with exactly this capability (§7, citing [10]);
+// since this repository's testbed is the virtual network, the benchmarks
+// run as simulated processes against internal/vnet. The round-trip and
+// saturation procedures are the same ones used against real NICs:
+//
+//   - g(m): send `rounds` m-byte messages back to back and divide the
+//     sender-side elapsed time by the number of messages (the network is
+//     saturated, so each send costs exactly the gap);
+//   - L:    time a zero-byte ping-pong; RTT(0) = 2·(g(0) + L), so
+//     L = RTT/2 − g(0).
+package measure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plogp"
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// Config tunes the measurement procedure.
+type Config struct {
+	// Sizes are the message sizes probed for g(m). Defaults to
+	// DefaultSizes when empty.
+	Sizes []int64
+	// Rounds is the number of messages per saturation run and of
+	// ping-pongs per latency run (default 10).
+	Rounds int
+	// Net configures the measured network's non-idealities; with jitter
+	// enabled the measured parameters are noisy averages, as they would
+	// be on a real machine.
+	Net vnet.Config
+}
+
+// DefaultSizes spans the range the paper's figures use (1 byte – 4 MB).
+var DefaultSizes = []int64{1, 1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20}
+
+func (c Config) sizes() []int64 {
+	if len(c.Sizes) == 0 {
+		return DefaultSizes
+	}
+	s := append([]int64(nil), c.Sizes...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func (c Config) rounds() int {
+	if c.Rounds <= 0 {
+		return 10
+	}
+	return c.Rounds
+}
+
+// Link benchmarks a link with the given true parameters and returns the
+// parameters as reconstructed by the measurement procedure. On an ideal
+// network the reconstruction is exact at the probed sizes.
+func Link(truth plogp.Params, cfg Config) (plogp.Params, error) {
+	if err := truth.Validate(); err != nil {
+		return plogp.Params{}, fmt.Errorf("measure: invalid link: %w", err)
+	}
+	sizes := cfg.sizes()
+	rounds := cfg.rounds()
+
+	pts := make([]plogp.Point, 0, len(sizes))
+	for _, m := range sizes {
+		g := measureGap(truth, cfg, m, rounds)
+		pts = append(pts, plogp.Point{Size: m, Sec: g})
+	}
+	gapFn, err := plogp.NewSizeFunc(pts)
+	if err != nil {
+		return plogp.Params{}, err
+	}
+	rtt := measureRTT(truth, cfg, rounds)
+	// Use an explicitly measured zero-byte gap rather than gapFn.At(0):
+	// the probed sizes may not include 0 and the clamped interpolant would
+	// bias the latency by the per-byte cost of the smallest probe.
+	lat := rtt/2 - measureGap(truth, cfg, 0, rounds)
+	if lat < 0 {
+		lat = 0
+	}
+	return plogp.Params{L: lat, G: gapFn}, nil
+}
+
+// measureGap saturates the link with `rounds` m-byte messages and returns
+// the per-message sender occupation.
+func measureGap(truth plogp.Params, cfg Config, m int64, rounds int) float64 {
+	env := sim.New()
+	nw := vnet.New(env, 2, func(int, int) plogp.Params { return truth }, cfg.Net)
+	var elapsed float64
+	env.Process("saturator", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < rounds; i++ {
+			nw.Send(p, 0, 1, m, 0, nil)
+		}
+		elapsed = p.Now() - start
+	})
+	env.Process("sink", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			nw.Recv(p, 1)
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	return elapsed / float64(rounds)
+}
+
+// measureRTT ping-pongs zero-byte messages and returns the mean round trip.
+func measureRTT(truth plogp.Params, cfg Config, rounds int) float64 {
+	env := sim.New()
+	nw := vnet.New(env, 2, func(int, int) plogp.Params { return truth }, cfg.Net)
+	var total float64
+	env.Process("ping", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			start := p.Now()
+			nw.Send(p, 0, 1, 0, 0, nil)
+			nw.Recv(p, 0)
+			total += p.Now() - start
+		}
+	})
+	env.Process("pong", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			nw.Recv(p, 1)
+			nw.Send(p, 1, 0, 0, 0, nil)
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	return total / float64(rounds)
+}
+
+// Matrix measures every directed link of an inter-cluster matrix and
+// returns the reconstructed matrix. Diagonal entries are left zero.
+func Matrix(truth [][]plogp.Params, cfg Config) ([][]plogp.Params, error) {
+	n := len(truth)
+	out := make([][]plogp.Params, n)
+	for i := range truth {
+		if len(truth[i]) != n {
+			return nil, fmt.Errorf("measure: ragged matrix row %d", i)
+		}
+		out[i] = make([]plogp.Params, n)
+		for j := range truth[i] {
+			if i == j {
+				continue
+			}
+			p, err := Link(truth[i][j], cfg)
+			if err != nil {
+				return nil, fmt.Errorf("measure: link %d->%d: %w", i, j, err)
+			}
+			out[i][j] = p
+		}
+	}
+	return out, nil
+}

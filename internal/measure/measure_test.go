@@ -1,0 +1,100 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plogp"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+func TestLinkReconstructsIdealParameters(t *testing.T) {
+	truth := plogp.FromBandwidth(0.012, 0.001, 2e6) // WAN-class link
+	got, err := Link(truth, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.L-truth.L) > 1e-9 {
+		t.Errorf("L = %g, want %g", got.L, truth.L)
+	}
+	for _, m := range DefaultSizes {
+		if w, g := truth.Gap(m), got.Gap(m); math.Abs(w-g) > 1e-9*(1+w) {
+			t.Errorf("g(%d) = %g, want %g", m, g, w)
+		}
+	}
+}
+
+func TestLinkConstantGap(t *testing.T) {
+	truth := plogp.Params{L: 0.005, G: plogp.Constant(0.2)}
+	got, err := Link(truth, Config{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.L-0.005) > 1e-9 || math.Abs(got.Gap(1<<20)-0.2) > 1e-9 {
+		t.Errorf("got L=%g g=%g", got.L, got.Gap(1<<20))
+	}
+}
+
+func TestLinkRejectsInvalid(t *testing.T) {
+	if _, err := Link(plogp.Params{L: -1, G: plogp.Constant(1)}, Config{}); err == nil {
+		t.Error("invalid link accepted")
+	}
+}
+
+func TestLinkWithJitterIsApproximate(t *testing.T) {
+	truth := plogp.FromBandwidth(0.010, 0.001, 5e6)
+	got, err := Link(truth, Config{Rounds: 50, Net: vnet.Config{Jitter: 0.05, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jittered measurements must stay within ~10% of truth at 1 MB.
+	w, g := truth.Gap(1<<20), got.Gap(1<<20)
+	if math.Abs(w-g) > 0.1*w {
+		t.Errorf("jittered g(1MB) = %g, truth %g", g, w)
+	}
+	if got.L < 0 {
+		t.Error("negative reconstructed latency")
+	}
+}
+
+func TestCustomSizesSortedAndUsed(t *testing.T) {
+	truth := plogp.FromBandwidth(0.002, 0.0005, 10e6)
+	got, err := Link(truth, Config{Sizes: []int64{1 << 20, 1, 1 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := got.G.Points()
+	if len(pts) != 3 || pts[0].Size != 1 || pts[2].Size != 1<<20 {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestMatrixMeasuresGrid5000(t *testing.T) {
+	g := topology.Grid5000()
+	got, err := Matrix(g.Inter, Config{Sizes: []int64{1, 1 << 20}, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if i == j {
+				continue
+			}
+			want := g.Inter[i][j]
+			if math.Abs(got[i][j].L-want.L) > 1e-9 {
+				t.Errorf("L[%d][%d] = %g, want %g", i, j, got[i][j].L, want.L)
+			}
+			if w, m := want.Gap(1<<20), got[i][j].Gap(1<<20); math.Abs(w-m) > 1e-9*(1+w) {
+				t.Errorf("g[%d][%d](1MB) = %g, want %g", i, j, m, w)
+			}
+		}
+	}
+}
+
+func TestMatrixRejectsRagged(t *testing.T) {
+	bad := [][]plogp.Params{{{}, {}}, {{}}}
+	if _, err := Matrix(bad, Config{}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"repro/internal/intracluster"
+	"repro/internal/topology"
+)
+
+// PredictBinomialGridUnaware predicts the completion time of the "default
+// MPI" broadcast the paper measures in §7 (the "Defaut LAM" curve of
+// Figure 6): a binomial tree built over *all* processes of the grid in rank
+// order, completely ignoring cluster boundaries. Ranks are laid out cluster
+// after cluster, rotated so the root process is rank 0, which is how a
+// LAM/MPI communicator over a machinefile would be ordered.
+//
+// Edges inside a cluster cost the cluster's intra-cluster parameters; edges
+// crossing clusters cost the wide-area parameters of the cluster pair —
+// that mix of slow and fast edges in arbitrary tree positions is exactly
+// why the grid-unaware binomial underperforms on grids.
+func PredictBinomialGridUnaware(g *topology.Grid, rootCluster int, m int64) float64 {
+	nodes := Layout(g, rootCluster)
+	tree := intracluster.New(intracluster.Binomial, len(nodes))
+	arrival := make([]float64, len(nodes))
+	var walk func(r int)
+	walk = func(r int) {
+		start := arrival[r]
+		for _, c := range tree.Children[r] {
+			from, to := nodes[r], nodes[c]
+			var gap, lat float64
+			if from.Cluster == to.Cluster {
+				p := g.Clusters[from.Cluster].Intra
+				gap, lat = p.Gap(m), p.L
+			} else {
+				p := g.Inter[from.Cluster][to.Cluster]
+				gap, lat = p.Gap(m), p.L
+			}
+			start += gap
+			arrival[c] = start + lat
+			walk(c)
+		}
+	}
+	walk(0)
+	// Clusters modelled by an explicit BcastTime (single entry in the
+	// rank list) still pay their local broadcast after their node
+	// receives the message.
+	var worst float64
+	for r, a := range arrival {
+		if bt := g.Clusters[nodes[r].Cluster].BcastTime; bt > 0 {
+			a += bt
+		}
+		if a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// NodePlace locates one process of the flattened grid.
+type NodePlace struct {
+	Cluster int
+	Rank    int // rank within the cluster
+}
+
+// Layout flattens the grid into a process list with the root cluster's
+// first node at position 0 (clusters rotate so the root leads, matching an
+// MPI communicator over a machinefile rooted at that process). The
+// simulated MPI runtime uses the same layout so predictions and measured
+// executions talk about the same ranks.
+func Layout(g *topology.Grid, rootCluster int) []NodePlace {
+	nodes := make([]NodePlace, 0, g.TotalNodes())
+	n := g.N()
+	for d := 0; d < n; d++ {
+		c := (rootCluster + d) % n
+		for r := 0; r < g.Clusters[c].Nodes; r++ {
+			nodes = append(nodes, NodePlace{Cluster: c, Rank: r})
+		}
+	}
+	return nodes
+}

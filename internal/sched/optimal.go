@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxOptimalClusters bounds the exhaustive search; the schedule space grows
+// as the product of |A|·|B| over rounds (≈ 38M leaves at N=8 before
+// pruning), which is why the paper falls back to the cheaper
+// "global minimum over heuristics" reference for its Figure 4.
+const MaxOptimalClusters = 9
+
+// Optimal finds a makespan-optimal schedule by branch-and-bound over every
+// (sender, receiver) sequence. It is exponential and refuses instances with
+// more than MaxOptimalClusters clusters; it exists to measure how far the
+// heuristics sit from the true optimum on small grids (an ablation the
+// paper sidesteps).
+type Optimal struct{}
+
+// Name implements Heuristic.
+func (Optimal) Name() string { return "Optimal" }
+
+// Schedule implements Heuristic.
+func (Optimal) Schedule(p *Problem) *Schedule {
+	if p.N > MaxOptimalClusters {
+		panic(fmt.Sprintf("sched: Optimal limited to %d clusters, got %d", MaxOptimalClusters, p.N))
+	}
+	// Seed the bound with a good heuristic so pruning bites immediately.
+	best, _ := BestOf(Paper(), p)
+	bestPairs := pairsOf(best)
+	bound := best.Makespan
+
+	n := p.N
+	inA := make([]bool, n)
+	avail := make([]float64, n)
+	inA[p.Root] = true
+	pairs := make([][2]int, 0, n-1)
+
+	// minIn[j] = cheapest incoming edge weight for j, for the lower bound.
+	minIn := make([]float64, n)
+	for j := 0; j < n; j++ {
+		minIn[j] = math.Inf(1)
+		for k := 0; k < n; k++ {
+			if k != j && p.W[k][j] < minIn[j] {
+				minIn[j] = p.W[k][j]
+			}
+		}
+	}
+
+	var dfs func(sizeA int)
+	dfs = func(sizeA int) {
+		if sizeA == n {
+			worst := 0.0
+			for i := 0; i < n; i++ {
+				if c := avail[i] + p.T[i]; c > worst {
+					worst = c
+				}
+			}
+			if worst < bound {
+				bound = worst
+				bestPairs = append(bestPairs[:0], pairs...)
+			}
+			return
+		}
+		// Lower bound: clusters in A can only finish later than their
+		// current availability; clusters in B cannot receive before the
+		// earliest sender plus their cheapest incoming edge.
+		lb := 0.0
+		earliest := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if inA[i] {
+				if c := avail[i] + p.T[i]; c > lb {
+					lb = c
+				}
+				if avail[i] < earliest {
+					earliest = avail[i]
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if !inA[j] {
+				if c := earliest + minIn[j] + p.T[j]; c > lb {
+					lb = c
+				}
+			}
+		}
+		if lb >= bound {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !inA[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if inA[j] {
+					continue
+				}
+				savedAvail := avail[i]
+				arrive := avail[i] + p.W[i][j]
+				avail[i] += p.G[i][j]
+				avail[j] = arrive
+				inA[j] = true
+				pairs = append(pairs, [2]int{i, j})
+				dfs(sizeA + 1)
+				pairs = pairs[:len(pairs)-1]
+				inA[j] = false
+				avail[j] = 0
+				avail[i] = savedAvail
+			}
+		}
+	}
+	dfs(1)
+
+	sc := Replay(p, bestPairs)
+	sc.Heuristic = "Optimal"
+	return sc
+}
+
+func pairsOf(sc *Schedule) [][2]int {
+	ps := make([][2]int, len(sc.Events))
+	for i, e := range sc.Events {
+		ps[i] = [2]int{e.From, e.To}
+	}
+	return ps
+}
+
+// Replay materialises a schedule from an explicit (sender, receiver)
+// sequence, recomputing all timing through the shared engine. It panics if
+// the sequence is not a valid broadcast order for the problem.
+func Replay(p *Problem, pairs [][2]int) *Schedule {
+	if len(pairs) != p.N-1 {
+		panic(fmt.Sprintf("sched: replay needs %d pairs, got %d", p.N-1, len(pairs)))
+	}
+	pol := &scripted{pairs: pairs}
+	return run(pol, p)
+}
+
+// scripted is a policy that replays a fixed pair sequence.
+type scripted struct {
+	pairs [][2]int
+	next  int
+}
+
+func (s *scripted) Name() string { return "scripted" }
+
+func (s *scripted) pick(_ *Problem, _ *state) (int, int) {
+	pr := s.pairs[s.next]
+	s.next++
+	return pr[0], pr[1]
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func TestOptimalBeatsOrMatchesEveryHeuristic(t *testing.T) {
+	r := stats.NewRand(21)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(5) // up to 6 clusters keeps the search instant
+		p := MustProblem(topology.RandomGrid(r, n), r.Intn(n), 1<<20, Options{})
+		opt := Optimal{}.Schedule(p)
+		if err := opt.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range Paper() {
+			if hm := h.Schedule(p).Makespan; opt.Makespan > hm+1e-9 {
+				t.Fatalf("optimal (%g) worse than %s (%g) on n=%d", opt.Makespan, h.Name(), hm, n)
+			}
+		}
+	}
+}
+
+func TestOptimalExactOnTinyGrid(t *testing.T) {
+	p := tinyProblem(t)
+	opt := Optimal{}.Schedule(p)
+	// Hand search: serving cluster 2 (T=1.0) as early as possible via
+	// 0->2 directly costs 0.32 + 1.0 = 1.32; any relay through 1 delivers
+	// at 0.22 (1.22 total). Optimal therefore relays: makespan 1.22.
+	if opt.Makespan > 1.22+1e-9 {
+		t.Errorf("optimal makespan = %g, want <= 1.22", opt.Makespan)
+	}
+	if opt.Heuristic != "Optimal" {
+		t.Errorf("name = %q", opt.Heuristic)
+	}
+}
+
+func TestOptimalRefusesLargeGrids(t *testing.T) {
+	p := MustProblem(topology.RandomGrid(stats.NewRand(1), MaxOptimalClusters+1), 0, 1, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic above MaxOptimalClusters")
+		}
+	}()
+	Optimal{}.Schedule(p)
+}
+
+func TestReplayReproducesSchedule(t *testing.T) {
+	p := tinyProblem(t)
+	orig := ECEFLAT().Schedule(p)
+	replayed := Replay(p, pairsOf(orig))
+	if replayed.Makespan != orig.Makespan {
+		t.Errorf("replay makespan %g != %g", replayed.Makespan, orig.Makespan)
+	}
+	if err := replayed.Validate(p); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayPanicsOnWrongLength(t *testing.T) {
+	p := tinyProblem(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Replay(p, [][2]int{{0, 1}})
+}
+
+// Property: on random grids up to 5 clusters, the optimal makespan is a
+// lower bound for every heuristic and for every random valid order.
+func TestOptimalLowerBoundProperty(t *testing.T) {
+	f := func(seed int64, nRaw, rootRaw uint8) bool {
+		n := int(nRaw%4) + 2
+		root := int(rootRaw) % n
+		r := stats.NewRand(seed)
+		p := MustProblem(topology.RandomGrid(r, n), root, 1<<20, Options{})
+		opt := Optimal{}.Schedule(p)
+		// Random valid schedule: repeatedly pick a random A->B pair.
+		pairs := make([][2]int, 0, n-1)
+		inA := map[int]bool{root: true}
+		for len(inA) < n {
+			var as, bs []int
+			for c := 0; c < n; c++ {
+				if inA[c] {
+					as = append(as, c)
+				} else {
+					bs = append(bs, c)
+				}
+			}
+			i := as[r.Intn(len(as))]
+			j := bs[r.Intn(len(bs))]
+			pairs = append(pairs, [2]int{i, j})
+			inA[j] = true
+		}
+		random := Replay(p, pairs)
+		return opt.Makespan <= random.Makespan+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

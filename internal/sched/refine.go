@@ -1,0 +1,103 @@
+package sched
+
+// Schedule refinement by local search — the paper's conclusion calls for
+// "next-generation optimisation techniques" beyond one-pass greedy
+// construction; this is the natural first step: take any heuristic's
+// schedule and hill-climb over the (sender, receiver) sequence.
+//
+// Two move kinds are explored:
+//
+//   - swap: exchange the positions of two rounds (receivers trade places
+//     in the reception order);
+//   - resender: keep the reception order but serve one receiver from a
+//     different cluster that already holds the message at that point.
+//
+// Every candidate is re-timed through the shared engine (Replay), so the
+// search can never produce an invalid schedule; moves that break the
+// "sender must hold the message" precedence are skipped.
+
+// Refine improves a schedule by steepest-descent local search, stopping
+// when no move improves the makespan or after maxRounds full sweeps
+// (maxRounds <= 0 means sweep until a local optimum). The original
+// schedule is not modified; the result is never worse.
+func Refine(p *Problem, sc *Schedule, maxRounds int) *Schedule {
+	best := pairsOf(sc)
+	bestSpan := sc.Makespan
+	n := len(best)
+	if n < 2 {
+		return sc
+	}
+	improvedName := sc.Heuristic + "+refine"
+
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		improved := false
+
+		// Swap moves.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				cand := append([][2]int(nil), best...)
+				cand[a], cand[b] = cand[b], cand[a]
+				if !validOrder(p, cand) {
+					continue
+				}
+				if span := Replay(p, cand).Makespan; span < bestSpan-1e-12 {
+					best, bestSpan, improved = cand, span, true
+				}
+			}
+		}
+		// Re-sender moves.
+		for k := 0; k < n; k++ {
+			inA := make([]bool, p.N)
+			inA[p.Root] = true
+			for i := 0; i < k; i++ {
+				inA[best[i][1]] = true
+			}
+			for s := 0; s < p.N; s++ {
+				if !inA[s] || s == best[k][0] || s == best[k][1] {
+					continue
+				}
+				cand := append([][2]int(nil), best...)
+				cand[k][0] = s
+				if span := Replay(p, cand).Makespan; span < bestSpan-1e-12 {
+					best, bestSpan, improved = cand, span, true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	out := Replay(p, best)
+	out.Heuristic = improvedName
+	return out
+}
+
+// validOrder reports whether every sender holds the message before its
+// round (the precedence constraint swap moves can violate).
+func validOrder(p *Problem, pairs [][2]int) bool {
+	has := make([]bool, p.N)
+	has[p.Root] = true
+	for _, pr := range pairs {
+		if !has[pr[0]] || has[pr[1]] {
+			return false
+		}
+		has[pr[1]] = true
+	}
+	return true
+}
+
+// Refined wraps a base heuristic with local search, making refinement a
+// drop-in Heuristic (e.g. for the experiment harness).
+type Refined struct {
+	Base Heuristic
+	// MaxRounds bounds the sweeps (0 = until local optimum).
+	MaxRounds int
+}
+
+// Name implements Heuristic.
+func (r Refined) Name() string { return r.Base.Name() + "+refine" }
+
+// Schedule implements Heuristic.
+func (r Refined) Schedule(p *Problem) *Schedule {
+	return Refine(p, r.Base.Schedule(p), r.MaxRounds)
+}

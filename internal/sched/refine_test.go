@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func TestRefineNeverWorse(t *testing.T) {
+	r := stats.NewRand(51)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(8)
+		p := MustProblem(topology.RandomGrid(r, n), r.Intn(n), 1<<20, Options{})
+		for _, h := range Paper() {
+			base := h.Schedule(p)
+			ref := Refine(p, base, 0)
+			if ref.Makespan > base.Makespan+1e-12 {
+				t.Fatalf("%s n=%d: refine worsened %g -> %g", h.Name(), n, base.Makespan, ref.Makespan)
+			}
+			if err := ref.Validate(p); err != nil {
+				t.Fatalf("%s: refined schedule invalid: %v", h.Name(), err)
+			}
+		}
+	}
+}
+
+func TestRefineImprovesFlatTree(t *testing.T) {
+	// FlatTree is far from optimal, so local search must strictly improve
+	// it on essentially every random instance with a few clusters.
+	r := stats.NewRand(52)
+	improved := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		p := MustProblem(topology.RandomGrid(r, 6), 0, 1<<20, Options{})
+		base := FlatTree{}.Schedule(p)
+		if Refine(p, base, 0).Makespan < base.Makespan-1e-9 {
+			improved++
+		}
+	}
+	if improved < trials*3/4 {
+		t.Errorf("refine improved FlatTree on only %d/%d instances", improved, trials)
+	}
+}
+
+func TestRefineClosesGapToOptimal(t *testing.T) {
+	// Refined ECEF-LA must land at least as close to the optimum as the
+	// raw heuristic, and reach it on a majority of small instances.
+	r := stats.NewRand(53)
+	hits := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		p := MustProblem(topology.RandomGrid(r, 5), 0, 1<<20, Options{})
+		opt := Optimal{}.Schedule(p).Makespan
+		ref := Refined{Base: ECEFLA()}.Schedule(p)
+		if ref.Makespan < opt-1e-9 {
+			t.Fatalf("refined beat the optimum: %g < %g", ref.Makespan, opt)
+		}
+		if ref.Makespan <= opt+1e-9 {
+			hits++
+		}
+	}
+	if hits < trials/2 {
+		t.Errorf("refined ECEF-LA reached the optimum on only %d/%d instances", hits, trials)
+	}
+}
+
+func TestRefinedHeuristicInterface(t *testing.T) {
+	p := tinyProblem(t)
+	h := Refined{Base: FlatTree{}, MaxRounds: 2}
+	if h.Name() != "FlatTree+refine" {
+		t.Errorf("name = %q", h.Name())
+	}
+	sc := h.Schedule(p)
+	if sc.Heuristic != "FlatTree+refine" {
+		t.Errorf("schedule name = %q", sc.Heuristic)
+	}
+	if err := sc.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineTrivialSchedules(t *testing.T) {
+	// Two clusters: a single event, nothing to move.
+	p := MustProblem(topology.RandomGrid(stats.NewRand(1), 2), 0, 1<<20, Options{})
+	base := ECEF().Schedule(p)
+	if got := Refine(p, base, 0); got.Makespan != base.Makespan {
+		t.Errorf("trivial refine changed makespan: %g vs %g", got.Makespan, base.Makespan)
+	}
+}
+
+func TestValidOrder(t *testing.T) {
+	p := tinyProblem(t)
+	if !validOrder(p, [][2]int{{0, 1}, {1, 2}}) {
+		t.Error("valid order rejected")
+	}
+	if validOrder(p, [][2]int{{1, 2}, {0, 1}}) {
+		t.Error("sender-without-message accepted")
+	}
+	if validOrder(p, [][2]int{{0, 1}, {0, 1}}) {
+		t.Error("double receive accepted")
+	}
+}
+
+// Property: refinement output is always a valid schedule bounded between
+// the optimum and the base heuristic.
+func TestRefineBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%4) + 2
+		p := MustProblem(topology.RandomGrid(stats.NewRand(seed), n), 0, 1<<20, Options{})
+		base := BottomUp{}.Schedule(p)
+		ref := Refine(p, base, 3)
+		if ref.Validate(p) != nil {
+			return false
+		}
+		opt := Optimal{}.Schedule(p).Makespan
+		return ref.Makespan >= opt-1e-9 && ref.Makespan <= base.Makespan+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

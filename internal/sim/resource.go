@@ -1,0 +1,100 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted resource with FIFO queuing — the discrete-event
+// analogue of a semaphore. Processes Acquire one unit (blocking in arrival
+// order when none is free) and Release it later. It models anything with
+// finite capacity in a simulation: a gateway that can carry k concurrent
+// wide-area streams, a bounded injection queue, a licence pool.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(e *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource capacity %d", capacity))
+	}
+	return &Resource{env: e, capacity: capacity}
+}
+
+// Capacity returns the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of processes waiting to acquire.
+func (r *Resource) Queued() int { return len(r.waiters) }
+
+// Acquire blocks p until a unit is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.waiters = append(r.waiters, p)
+		p.block()
+	}
+	r.inUse++
+}
+
+// Release frees one unit and wakes the longest-waiting process, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	r.inUse--
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.env.Schedule(0, func() { r.env.transfer(w, true) })
+	}
+}
+
+// Use runs fn while holding one unit, releasing it even if fn panics.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}
+
+// Barrier blocks processes until a fixed number have arrived, then wakes
+// them all — the collective synchronisation point of BSP-style models.
+type Barrier struct {
+	env     *Env
+	parties int
+	arrived int
+	gen     int
+	waiters []*Proc
+}
+
+// NewBarrier creates a barrier for the given number of parties (>= 1).
+func NewBarrier(e *Env, parties int) *Barrier {
+	if parties < 1 {
+		panic(fmt.Sprintf("sim: barrier parties %d", parties))
+	}
+	return &Barrier{env: e, parties: parties}
+}
+
+// Wait blocks p until all parties have arrived. The barrier is reusable:
+// once released it resets for the next generation.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiters {
+			w := w
+			b.env.Schedule(0, func() { b.env.transfer(w, true) })
+		}
+		b.waiters = b.waiters[:0]
+		return
+	}
+	gen := b.gen
+	b.waiters = append(b.waiters, p)
+	for gen == b.gen {
+		p.block()
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestResourceSerialisesAtCapacity(t *testing.T) {
+	e := New()
+	res := NewResource(e, 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		e.Process("worker", func(p *Proc) {
+			res.Acquire(p)
+			p.Wait(1)
+			res.Release()
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	// Capacity 2, four unit jobs: two waves finishing at t=1 and t=2.
+	want := []float64{1, 1, 2, 2}
+	if len(finish) != 4 {
+		t.Fatalf("finish = %v", finish)
+	}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if res.InUse() != 0 || res.Queued() != 0 {
+		t.Errorf("resource not drained: inUse=%d queued=%d", res.InUse(), res.Queued())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := New()
+	res := NewResource(e, 1)
+	var order []string
+	hold := func(name string, start float64) {
+		e.Process(name, func(p *Proc) {
+			p.Wait(start)
+			res.Acquire(p)
+			order = append(order, name)
+			p.Wait(1)
+			res.Release()
+		})
+	}
+	hold("first", 0)
+	hold("second", 0.1)
+	hold("third", 0.2)
+	e.Run()
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestResourceUseReleasesOnReturn(t *testing.T) {
+	e := New()
+	res := NewResource(e, 1)
+	used := false
+	e.Process("user", func(p *Proc) {
+		res.Use(p, func() {
+			used = true
+			if res.InUse() != 1 {
+				t.Error("unit not held inside Use")
+			}
+		})
+		if res.InUse() != 0 {
+			t.Error("unit not released after Use")
+		}
+	})
+	e.Run()
+	if !used {
+		t.Error("Use body did not run")
+	}
+}
+
+func TestResourceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 should panic")
+		}
+	}()
+	NewResource(New(), 0)
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	res := NewResource(New(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("idle release should panic")
+		}
+	}()
+	res.Release()
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := New()
+	bar := NewBarrier(e, 3)
+	var times []float64
+	for i := 0; i < 3; i++ {
+		d := float64(i)
+		e.Process("p", func(p *Proc) {
+			p.Wait(d)
+			bar.Wait(p)
+			times = append(times, p.Now())
+		})
+	}
+	e.Run()
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	for _, at := range times {
+		if at != 2 { // everyone proceeds when the slowest (d=2) arrives
+			t.Fatalf("times = %v, want all 2", times)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	e := New()
+	bar := NewBarrier(e, 2)
+	var log []float64
+	for i := 0; i < 2; i++ {
+		d := float64(i) + 1
+		e.Process("p", func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				p.Wait(d)
+				bar.Wait(p)
+				log = append(log, p.Now())
+			}
+		})
+	}
+	e.Run()
+	// Each round gates on the slower process (d=2): rounds end at 2,4,6.
+	if len(log) != 6 {
+		t.Fatalf("log = %v", log)
+	}
+	want := []float64{2, 2, 4, 4, 6, 6}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	e := New()
+	bar := NewBarrier(e, 1)
+	passed := false
+	e.Process("solo", func(p *Proc) {
+		bar.Wait(p) // must not block
+		passed = true
+	})
+	e.Run()
+	if !passed {
+		t.Error("single-party barrier blocked")
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("parties 0 should panic")
+		}
+	}()
+	NewBarrier(New(), 0)
+}

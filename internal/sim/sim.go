@@ -1,0 +1,238 @@
+// Package sim is a process-oriented discrete-event simulation kernel with a
+// virtual clock, in the style of SimPy or OMNeT++'s process modules.
+//
+// Simulated processes are goroutines, but execution is strictly
+// single-threaded and deterministic: the kernel runs exactly one process at
+// a time and hands control back and forth over private channels. A process
+// may only block through kernel primitives (Proc.Wait, Chan.Recv); virtual
+// time advances only in the kernel loop, by popping the earliest scheduled
+// event. Ties are broken by schedule order, so runs are reproducible.
+//
+// The virtual grid (internal/vnet) and the simulated MPI ranks
+// (internal/mpi) are built on this kernel; it is the substitute for the
+// paper's real 88-machine GRID5000 testbed (see DESIGN.md §2).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// errKilled is the sentinel panic value used to unwind killed processes.
+var errKilled = errors.New("sim: process killed")
+
+// event is one scheduled kernel action.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// An Env must only be driven from one goroutine (the one calling Run);
+// processes interact with it exclusively through kernel primitives.
+type Env struct {
+	now   float64
+	queue eventHeap
+	seq   int64
+	yield chan struct{}
+	live  map[*Proc]struct{}
+}
+
+// New creates an empty environment at virtual time 0.
+func New() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		live:  map[*Proc]struct{}{},
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// Live returns the number of processes that have not finished.
+func (e *Env) Live() int { return len(e.live) }
+
+// Pending returns the number of scheduled events.
+func (e *Env) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at virtual time now+delay in kernel context. fn must not
+// block; use a Proc for anything that waits.
+func (e *Env) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Proc is a simulated process. Its function runs in a dedicated goroutine
+// but only ever executes while the kernel is blocked handing it control.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan bool
+	done   bool
+}
+
+// Name returns the process name (for traces and error messages).
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Process creates a process that starts executing fn at the current virtual
+// time (once Run is pumping events). It may be called before Run or from
+// inside another process.
+func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan bool)}
+	e.live[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != errKilled {
+				// A genuine bug in simulation code: crash loudly rather
+				// than deadlocking the kernel.
+				panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		if !<-p.resume {
+			panic(errKilled)
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.transfer(p, true) })
+	return p
+}
+
+// transfer hands control to p and waits until it blocks or finishes.
+func (e *Env) transfer(p *Proc, alive bool) {
+	if p.done {
+		return
+	}
+	p.resume <- alive
+	<-e.yield
+	if p.done {
+		delete(e.live, p)
+	}
+}
+
+// block yields control to the kernel and waits to be resumed. It panics
+// with errKilled if the environment is shutting down.
+func (p *Proc) block() {
+	p.env.yield <- struct{}{}
+	if !<-p.resume {
+		panic(errKilled)
+	}
+}
+
+// Wait advances the process by d seconds of virtual time (d >= 0).
+func (p *Proc) Wait(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative wait %g", d))
+	}
+	e := p.env
+	e.Schedule(d, func() { e.transfer(p, true) })
+	p.block()
+}
+
+// Run pumps events until the queue is empty and returns the final virtual
+// time. Processes still blocked on channels when the queue drains are left
+// alive; call Shutdown to terminate them.
+func (e *Env) Run() float64 { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil pumps events with timestamps <= limit and returns the virtual
+// time reached (limit if events remain beyond it).
+func (e *Env) RunUntil(limit float64) float64 {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.time > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.time
+		ev.fn()
+	}
+	return e.now
+}
+
+// Shutdown terminates every unfinished process (their blocking primitive
+// panics internally and the goroutine exits). The event queue is cleared.
+// The environment can be inspected afterwards but not reused.
+func (e *Env) Shutdown() {
+	e.queue = nil
+	for p := range e.live {
+		e.transfer(p, false)
+	}
+}
+
+// Chan is an unbounded FIFO message channel between processes. Sends never
+// block; Recv blocks the calling process until a message is available.
+type Chan struct {
+	env     *Env
+	buf     []any
+	waiters []*Proc
+}
+
+// NewChan creates a channel on e.
+func NewChan(e *Env) *Chan { return &Chan{env: e} }
+
+// Len returns the number of buffered messages.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// Send delivers v immediately (at the current virtual time).
+func (c *Chan) Send(v any) { c.deliver(v) }
+
+// SendAfter delivers v after d seconds of virtual time; the caller is not
+// blocked. This is the primitive network links use for latency.
+func (c *Chan) SendAfter(d float64, v any) {
+	c.env.Schedule(d, func() { c.deliver(v) })
+}
+
+func (c *Chan) deliver(v any) {
+	c.buf = append(c.buf, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.env.Schedule(0, func() { c.env.transfer(w, true) })
+	}
+}
+
+// Recv blocks p until a message is available and returns it.
+func (c *Chan) Recv(p *Proc) any {
+	for len(c.buf) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.block()
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v
+}

@@ -1,0 +1,25 @@
+package stats
+
+import "math/rand"
+
+// NewRand returns a deterministic *rand.Rand for the given seed. Every
+// experiment in this repository draws randomness through a seed so results
+// are reproducible bit-for-bit.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SplitSeed derives a stream seed from a base seed and a stream index using
+// SplitMix64 so that parallel Monte-Carlo workers get decorrelated streams.
+func SplitSeed(base int64, stream int64) int64 {
+	z := uint64(base) + uint64(stream)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Uniform draws a float64 uniformly from [lo, hi).
+func Uniform(r *rand.Rand, lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}

@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/plogp"
+)
+
+// Multi-level platform generator following the communication-level
+// hierarchy of the paper's Table 1 (after Karonis/MPICH-G2): level 0 is
+// the wide area (WAN-TCP), level 1 a metropolitan or national backbone,
+// level 2 the site LAN. Sites contain clusters; clusters within a site
+// talk at site latency, clusters across sites at WAN latency — so the
+// generated grids have the block-structured latency matrices real
+// federations exhibit (Table 3 is exactly such a matrix), unlike the fully
+// random Table 2 draws.
+
+// LevelParams describes one hierarchy level's link-parameter ranges.
+type LevelParams struct {
+	// LMin/LMax bound the one-way latency (seconds).
+	LMin, LMax float64
+	// BwMin/BwMax bound the bandwidth (bytes/second).
+	BwMin, BwMax float64
+}
+
+// MultiLevelConfig drives the generator.
+type MultiLevelConfig struct {
+	// Sites is the number of sites; ClustersPerSite the clusters at each.
+	Sites, ClustersPerSite int
+	// NodesMin/NodesMax bound the per-cluster machine count.
+	NodesMin, NodesMax int
+	// WAN connects clusters of different sites; Site connects clusters of
+	// the same site; LAN is the intra-cluster interconnect.
+	WAN, Site, LAN LevelParams
+}
+
+// DefaultMultiLevel mirrors the latency classes observed on GRID5000
+// (Table 3): ~10 ms WAN, sub-millisecond same-site links, tens of
+// microseconds inside a cluster.
+func DefaultMultiLevel(sites, clustersPerSite int) MultiLevelConfig {
+	return MultiLevelConfig{
+		Sites:           sites,
+		ClustersPerSite: clustersPerSite,
+		NodesMin:        4,
+		NodesMax:        32,
+		WAN:             LevelParams{LMin: 5e-3, LMax: 20e-3, BwMin: 1e6, BwMax: 4e6},
+		Site:            LevelParams{LMin: 50e-6, LMax: 500e-6, BwMin: 20e6, BwMax: 60e6},
+		LAN:             LevelParams{LMin: 20e-6, LMax: 80e-6, BwMin: 80e6, BwMax: 120e6},
+	}
+}
+
+// MultiLevelGrid draws a block-structured platform. Latencies and
+// bandwidths are drawn once per unordered cluster pair (links are
+// symmetric, as measured grids effectively are).
+func MultiLevelGrid(r *rand.Rand, cfg MultiLevelConfig) (*Grid, error) {
+	if cfg.Sites < 1 || cfg.ClustersPerSite < 1 {
+		return nil, fmt.Errorf("topology: need at least one site and cluster, got %d/%d",
+			cfg.Sites, cfg.ClustersPerSite)
+	}
+	if cfg.NodesMin < 1 || cfg.NodesMax < cfg.NodesMin {
+		return nil, fmt.Errorf("topology: bad node range [%d,%d]", cfg.NodesMin, cfg.NodesMax)
+	}
+	for _, lv := range []LevelParams{cfg.WAN, cfg.Site, cfg.LAN} {
+		if lv.LMin <= 0 || lv.LMax < lv.LMin || lv.BwMin <= 0 || lv.BwMax < lv.BwMin {
+			return nil, fmt.Errorf("topology: bad level parameters %+v", lv)
+		}
+	}
+	n := cfg.Sites * cfg.ClustersPerSite
+	g := &Grid{
+		Clusters: make([]Cluster, n),
+		Inter:    make([][]plogp.Params, n),
+	}
+	site := make([]int, n)
+	for c := 0; c < n; c++ {
+		site[c] = c / cfg.ClustersPerSite
+		nodes := cfg.NodesMin + r.Intn(cfg.NodesMax-cfg.NodesMin+1)
+		g.Clusters[c] = Cluster{
+			Name:  fmt.Sprintf("s%d-c%d", site[c], c%cfg.ClustersPerSite),
+			Nodes: nodes,
+			Intra: drawParams(r, cfg.LAN),
+		}
+		g.Inter[c] = make([]plogp.Params, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			lv := cfg.WAN
+			if site[i] == site[j] {
+				lv = cfg.Site
+			}
+			p := drawParams(r, lv)
+			g.Inter[i][j] = p
+			g.Inter[j][i] = p
+		}
+	}
+	return g, g.Validate()
+}
+
+func drawParams(r *rand.Rand, lv LevelParams) plogp.Params {
+	lat := uniform(r, lv.LMin, lv.LMax)
+	bw := uniform(r, lv.BwMin, lv.BwMax)
+	// Fixed per-message gap: a small multiple of the latency class.
+	return plogp.FromBandwidth(lat, lat/10, bw)
+}
+
+// SiteOf returns the site index of each cluster for a grid produced by
+// MultiLevelGrid with the given config.
+func (cfg MultiLevelConfig) SiteOf(cluster int) int {
+	return cluster / cfg.ClustersPerSite
+}

@@ -1,0 +1,92 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestMultiLevelGridStructure(t *testing.T) {
+	cfg := DefaultMultiLevel(3, 2)
+	g, err := MultiLevelGrid(stats.NewRand(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	// Same-site links must be faster than cross-site links.
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if i == j {
+				continue
+			}
+			sameSite := cfg.SiteOf(i) == cfg.SiteOf(j)
+			l := g.Latency(i, j)
+			if sameSite && l >= cfg.WAN.LMin {
+				t.Errorf("same-site latency %g reaches WAN range", l)
+			}
+			if !sameSite && l < cfg.WAN.LMin {
+				t.Errorf("cross-site latency %g below WAN range", l)
+			}
+			if g.Latency(i, j) != g.Latency(j, i) {
+				t.Error("multi-level links should be symmetric")
+			}
+		}
+	}
+	// Node counts within bounds.
+	for _, c := range g.Clusters {
+		if c.Nodes < cfg.NodesMin || c.Nodes > cfg.NodesMax {
+			t.Errorf("node count %d outside [%d,%d]", c.Nodes, cfg.NodesMin, cfg.NodesMax)
+		}
+	}
+}
+
+func TestMultiLevelGridValidation(t *testing.T) {
+	r := stats.NewRand(1)
+	bad := []MultiLevelConfig{
+		{Sites: 0, ClustersPerSite: 1, NodesMin: 1, NodesMax: 1},
+		{Sites: 1, ClustersPerSite: 0, NodesMin: 1, NodesMax: 1},
+		func() MultiLevelConfig { c := DefaultMultiLevel(2, 2); c.NodesMin = 0; return c }(),
+		func() MultiLevelConfig { c := DefaultMultiLevel(2, 2); c.NodesMax = 1; return c }(),
+		func() MultiLevelConfig { c := DefaultMultiLevel(2, 2); c.WAN.BwMin = 0; return c }(),
+		func() MultiLevelConfig { c := DefaultMultiLevel(2, 2); c.LAN.LMax = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := MultiLevelGrid(r, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMultiLevelGridDeterministic(t *testing.T) {
+	cfg := DefaultMultiLevel(2, 3)
+	a, _ := MultiLevelGrid(stats.NewRand(4), cfg)
+	b, _ := MultiLevelGrid(stats.NewRand(4), cfg)
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.N(); j++ {
+			if i != j && a.Latency(i, j) != b.Latency(i, j) {
+				t.Fatal("same seed produced different grids")
+			}
+		}
+	}
+}
+
+// Property: generated grids always validate and have block-structured
+// latency (same-site max < cross-site min whenever both exist).
+func TestMultiLevelGridProperty(t *testing.T) {
+	f := func(seed int64, sRaw, cRaw uint8) bool {
+		sites := int(sRaw%4) + 1
+		per := int(cRaw%3) + 1
+		cfg := DefaultMultiLevel(sites, per)
+		g, err := MultiLevelGrid(stats.NewRand(seed), cfg)
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		return g.N() == sites*per
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package trace renders broadcast schedules for humans and tools: event
+// tables, CSV exports and ASCII Gantt charts of coordinator activity.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// WriteCSV exports the schedule's events, one row per inter-cluster
+// transmission, with a header row.
+func WriteCSV(w io.Writer, sc *sched.Schedule) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"round", "from", "to", "start", "sender_free", "arrive"}); err != nil {
+		return err
+	}
+	for _, e := range sc.Events {
+		rec := []string{
+			strconv.Itoa(e.Round),
+			strconv.Itoa(e.From),
+			strconv.Itoa(e.To),
+			formatSec(e.Start),
+			formatSec(e.SenderFree),
+			formatSec(e.Arrive),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatSec(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
+
+// Table renders a human-readable event table with cluster names.
+func Table(sc *sched.Schedule, g *topology.Grid) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %s, root %s, makespan %.4fs\n",
+		sc.Heuristic, clusterName(g, sc.Root), sc.Makespan)
+	fmt.Fprintf(&b, "%-5s %-14s %-14s %10s %10s %10s\n",
+		"round", "from", "to", "start", "free", "arrive")
+	for _, e := range sc.Events {
+		fmt.Fprintf(&b, "%-5d %-14s %-14s %10.4f %10.4f %10.4f\n",
+			e.Round, clusterName(g, e.From), clusterName(g, e.To),
+			e.Start, e.SenderFree, e.Arrive)
+	}
+	fmt.Fprintf(&b, "per-cluster completion:\n")
+	for i, c := range sc.Completion {
+		fmt.Fprintf(&b, "  %-14s recv %8.4f  idle %8.4f  done %8.4f\n",
+			clusterName(g, i), sc.RT[i], sc.Idle[i], c)
+	}
+	return b.String()
+}
+
+func clusterName(g *topology.Grid, i int) string {
+	if g != nil && i >= 0 && i < g.N() && g.Clusters[i].Name != "" {
+		return g.Clusters[i].Name
+	}
+	return fmt.Sprintf("c%d", i)
+}
+
+// Gantt renders an ASCII Gantt chart of coordinator activity: '#' while a
+// coordinator transmits inter-cluster messages, '=' during its local
+// broadcast, '.' while it waits for the message. width is the chart width
+// in characters (minimum 20).
+func Gantt(sc *sched.Schedule, g *topology.Grid, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if sc.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / sc.Makespan
+	col := func(t float64) int {
+		c := int(t * scale)
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  0%ss = %.4f\n", strings.Repeat(" ", 15), strings.Repeat(" ", width-4), sc.Makespan)
+	for i := range sc.Completion {
+		row := make([]byte, width)
+		for k := range row {
+			row[k] = ' '
+		}
+		fill := func(from, to float64, ch byte) {
+			for k := col(from); k < col(to) && k < width; k++ {
+				row[k] = ch
+			}
+		}
+		fill(0, sc.RT[i], '.')
+		for _, e := range sc.Events {
+			if e.From == i {
+				fill(e.Start, e.SenderFree, '#')
+			}
+		}
+		fill(sc.Idle[i], sc.Completion[i], '=')
+		fmt.Fprintf(&b, "%-14s |%s|\n", clusterName(g, i), row)
+	}
+	b.WriteString("legend: . waiting   # wide-area send   = local broadcast\n")
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+func demoSchedule(t *testing.T) (*topology.Grid, *sched.Schedule, *sched.Problem) {
+	t.Helper()
+	g := topology.Grid5000()
+	p := sched.MustProblem(g, 0, 1<<20, sched.Options{})
+	sc := sched.ECEFLAT().Schedule(p)
+	return g, sc, p
+}
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	_, sc, _ := demoSchedule(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sc.Events)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(sc.Events)+1)
+	}
+	if rows[0][0] != "round" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for i, e := range sc.Events {
+		from, _ := strconv.Atoi(rows[i+1][1])
+		arrive, _ := strconv.ParseFloat(rows[i+1][5], 64)
+		if from != e.From || arrive != e.Arrive {
+			t.Errorf("row %d mismatch: %v vs %+v", i, rows[i+1], e)
+		}
+	}
+}
+
+func TestTableContainsClusters(t *testing.T) {
+	g, sc, _ := demoSchedule(t)
+	out := Table(sc, g)
+	for _, c := range g.Clusters {
+		if !strings.Contains(out, c.Name) {
+			t.Errorf("table missing cluster %q", c.Name)
+		}
+	}
+	if !strings.Contains(out, "ECEF-LAT") {
+		t.Error("table missing heuristic name")
+	}
+}
+
+func TestTableWithoutGridUsesIndices(t *testing.T) {
+	_, sc, _ := demoSchedule(t)
+	out := Table(sc, nil)
+	if !strings.Contains(out, "c0") {
+		t.Error("fallback cluster names missing")
+	}
+}
+
+func TestGanttShape(t *testing.T) {
+	g, sc, _ := demoSchedule(t)
+	out := Gantt(sc, g, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + one row per cluster + legend
+	if len(lines) != 1+g.N()+1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, mark := range []string{"#", "=", "."} {
+		if !strings.Contains(out, mark) {
+			t.Errorf("gantt missing %q marks", mark)
+		}
+	}
+}
+
+func TestGanttMinWidthAndEmpty(t *testing.T) {
+	g, sc, _ := demoSchedule(t)
+	if out := Gantt(sc, g, 1); len(out) == 0 {
+		t.Error("tiny width should still render")
+	}
+	empty := &sched.Schedule{}
+	if !strings.Contains(Gantt(empty, nil, 40), "empty") {
+		t.Error("empty schedule should render placeholder")
+	}
+}

@@ -1,0 +1,114 @@
+package vnet
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/plogp"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TestDeliveryInvariantsProperty drives random traffic through a random
+// heterogeneous network and checks the pLogP delivery invariants:
+//
+//  1. every message arrives at least g(m)+L after its send started;
+//  2. consecutive deliveries at one endpoint are spaced by at least the
+//     incoming message's gap;
+//  3. no message is lost or duplicated.
+func TestDeliveryInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, trafficRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		traffic := int(trafficRaw%20) + 1
+		r := stats.NewRand(seed)
+
+		params := make([][]plogp.Params, n)
+		for i := range params {
+			params[i] = make([]plogp.Params, n)
+			for j := range params[i] {
+				if i == j {
+					continue
+				}
+				params[i][j] = plogp.Params{
+					L: 0.001 + r.Float64()*0.01,
+					G: plogp.Linear(0.001+r.Float64()*0.05, 1e-8),
+				}
+			}
+		}
+		env := sim.New()
+		nw := New(env, n, func(a, b int) plogp.Params { return params[a][b] }, Config{})
+
+		type plannedSend struct {
+			to   int
+			size int64
+		}
+		plans := make([][]plannedSend, n)
+		sent := 0
+		for i := 0; i < traffic; i++ {
+			from := r.Intn(n)
+			to := r.Intn(n)
+			if to == from {
+				to = (to + 1) % n
+			}
+			plans[from] = append(plans[from], plannedSend{to: to, size: int64(r.Intn(1 << 16))})
+			sent++
+		}
+		var delivered []*Message
+		expect := make([]int, n)
+		for _, plan := range plans {
+			for _, s := range plan {
+				expect[s.to]++
+			}
+		}
+		for from := 0; from < n; from++ {
+			plan := plans[from]
+			env.Process("sender", func(p *sim.Proc) {
+				for _, s := range plan {
+					nw.Send(p, from, s.to, s.size, 0, nil)
+				}
+			})
+		}
+		for node := 0; node < n; node++ {
+			count := expect[node]
+			env.Process("receiver", func(p *sim.Proc) {
+				for k := 0; k < count; k++ {
+					delivered = append(delivered, nw.Recv(p, node))
+				}
+			})
+		}
+		env.Run()
+		if env.Live() != 0 {
+			env.Shutdown()
+			return false
+		}
+		if len(delivered) != sent || nw.Messages != int64(sent) {
+			return false
+		}
+		// Invariant 1: propagation floor.
+		for _, m := range delivered {
+			p := params[m.From][m.To]
+			if m.ArrivedAt+1e-12 < m.SentAt+p.Gap(m.Size)+p.L {
+				return false
+			}
+		}
+		// Invariant 2: per-endpoint delivery spacing.
+		perNode := make(map[int][]*Message)
+		for _, m := range delivered {
+			perNode[m.To] = append(perNode[m.To], m)
+		}
+		for _, ms := range perNode {
+			sort.Slice(ms, func(a, b int) bool { return ms[a].ArrivedAt < ms[b].ArrivedAt })
+			for k := 1; k < len(ms); k++ {
+				gap := params[ms[k].From][ms[k].To].Gap(ms[k].Size)
+				if ms[k].ArrivedAt+1e-9 < ms[k-1].ArrivedAt+gap {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

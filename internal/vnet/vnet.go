@@ -1,0 +1,183 @@
+// Package vnet is a virtual point-to-point network running on the
+// discrete-event kernel of internal/sim. Every link behaves per the pLogP
+// model: a transmission of m bytes occupies the sending process for
+// os(m) + g(m) virtual seconds and the payload reaches the receiver's inbox
+// L seconds after the gap elapses (plus or(m) at the receiver when the
+// parameter set defines overheads).
+//
+// This package is the substitute for the paper's real grid hardware: the
+// simulated MPI layer (internal/mpi) sends every individual message of a
+// broadcast through it. An optional multiplicative jitter and a fixed
+// per-message software overhead let experiments model the measurement noise
+// and MPI-stack costs of the practical evaluation (§7 of the paper).
+package vnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/plogp"
+	"repro/internal/sim"
+)
+
+// Message is one payload in flight or delivered.
+type Message struct {
+	From, To int
+	Size     int64
+	Tag      int
+	Payload  any
+	// SentAt is when the sender started transmitting; ArrivedAt is set on
+	// delivery to the receiver's inbox.
+	SentAt, ArrivedAt float64
+}
+
+// Config tunes non-ideal behaviours. The zero value is the ideal pLogP
+// network, under which simulated makespans match analytic predictions
+// exactly (the integration tests rely on this).
+type Config struct {
+	// Jitter, when > 0, multiplies every gap and latency by a factor
+	// uniform in [1-Jitter, 1+Jitter]. Requires Seed.
+	Jitter float64
+	// Seed seeds the jitter stream; ignored when Jitter == 0.
+	Seed int64
+	// SoftwareOverhead is a fixed per-message cost (seconds) added to the
+	// sender occupation, modelling the MPI stack above the raw network.
+	SoftwareOverhead float64
+}
+
+// Network connects n processes (0..n-1) with pLogP links.
+//
+// Receiver side: pLogP's gap is the minimal interval between *consecutive*
+// messages on a NIC, in both directions (Kielmann et al. §3). The network
+// therefore enforces a minimum spacing between deliveries at each
+// endpoint: a message of size m is delivered no earlier than g(m) after
+// the previous delivery. Patterns where every process receives exactly one
+// message (broadcast trees) are unaffected, as are serial exchanges
+// (ping-pong, rendezvous drains); converging patterns (many concurrent
+// senders into one gather coordinator) see the receiver bottleneck a real
+// single-port NIC has.
+type Network struct {
+	env   *sim.Env
+	link  func(from, to int) plogp.Params
+	inbox []*sim.Chan
+	// pending holds messages pulled from the inbox while looking for a
+	// match (RecvMatch).
+	pending [][]*Message
+	// lastDelivered[i] is the time of endpoint i's most recent delivery;
+	// the next delivery lands no earlier than lastDelivered + g(m) of the
+	// incoming message (the pLogP minimum receive spacing).
+	lastDelivered []float64
+	cfg           Config
+	rng           *rand.Rand
+
+	// Counters (observable after a run).
+	Messages int64
+	Bytes    int64
+}
+
+// New builds a network of n endpoints on env. link must return the pLogP
+// parameters for every ordered pair from != to.
+func New(env *sim.Env, n int, link func(from, to int) plogp.Params, cfg Config) *Network {
+	if n <= 0 {
+		panic("vnet: need at least one endpoint")
+	}
+	nw := &Network{
+		env:           env,
+		link:          link,
+		inbox:         make([]*sim.Chan, n),
+		pending:       make([][]*Message, n),
+		lastDelivered: make([]float64, n),
+		cfg:           cfg,
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
+		if cfg.Jitter != 0 {
+			panic(fmt.Sprintf("vnet: jitter %g outside [0,1)", cfg.Jitter))
+		}
+	}
+	if cfg.Jitter > 0 {
+		nw.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	for i := range nw.inbox {
+		nw.inbox[i] = sim.NewChan(env)
+	}
+	return nw
+}
+
+// N returns the number of endpoints.
+func (nw *Network) N() int { return len(nw.inbox) }
+
+func (nw *Network) jitter() float64 {
+	if nw.rng == nil {
+		return 1
+	}
+	return 1 + (nw.rng.Float64()*2-1)*nw.cfg.Jitter
+}
+
+// Send transmits size bytes from endpoint `from` (whose process is p) to
+// endpoint `to`. The calling process is blocked for the sender occupation
+// (software overhead + os(m) + g(m)); the message lands in the receiver's
+// inbox one latency later. Send returns once the sender is free again, per
+// the pLogP gap semantics.
+func (nw *Network) Send(p *sim.Proc, from, to int, size int64, tag int, payload any) {
+	if from == to {
+		panic("vnet: self-send")
+	}
+	params := nw.link(from, to)
+	msg := &Message{From: from, To: to, Size: size, Tag: tag, Payload: payload, SentAt: p.Now()}
+	occupied := nw.cfg.SoftwareOverhead + params.SendOverhead(size) + params.Gap(size)*nw.jitter()
+	lat := params.L * nw.jitter()
+	recvOv := params.RecvOverhead(size)
+	p.Wait(occupied)
+	env := nw.env
+	inbox := nw.inbox[to]
+	gap := params.Gap(size)
+	env.Schedule(lat+recvOv, func() {
+		// Enforce the minimum spacing between consecutive deliveries at
+		// the receiving NIC.
+		wait := nw.lastDelivered[to] + gap - env.Now()
+		if wait < 0 {
+			wait = 0
+		}
+		nw.lastDelivered[to] = env.Now() + wait
+		env.Schedule(wait, func() {
+			msg.ArrivedAt = env.Now()
+			inbox.Send(msg)
+		})
+	})
+	nw.Messages++
+	nw.Bytes += size
+}
+
+// Recv blocks until any message addressed to node arrives (FIFO across the
+// pending buffer first, then the inbox).
+func (nw *Network) Recv(p *sim.Proc, node int) *Message {
+	if q := nw.pending[node]; len(q) > 0 {
+		m := q[0]
+		nw.pending[node] = q[1:]
+		return m
+	}
+	return nw.take(p, node)
+}
+
+// RecvMatch blocks until a message addressed to node satisfying match
+// arrives. Non-matching messages are buffered in arrival order and remain
+// available to later Recv/RecvMatch calls.
+func (nw *Network) RecvMatch(p *sim.Proc, node int, match func(*Message) bool) *Message {
+	for i, m := range nw.pending[node] {
+		if match(m) {
+			nw.pending[node] = append(nw.pending[node][:i], nw.pending[node][i+1:]...)
+			return m
+		}
+	}
+	for {
+		m := nw.take(p, node)
+		if match(m) {
+			return m
+		}
+		nw.pending[node] = append(nw.pending[node], m)
+	}
+}
+
+func (nw *Network) take(p *sim.Proc, node int) *Message {
+	return nw.inbox[node].Recv(p).(*Message)
+}

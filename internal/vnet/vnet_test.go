@@ -1,0 +1,228 @@
+package vnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plogp"
+	"repro/internal/sim"
+)
+
+// uniformLink gives every pair the same parameters.
+func uniformLink(p plogp.Params) func(int, int) plogp.Params {
+	return func(int, int) plogp.Params { return p }
+}
+
+func TestSendTimingMatchesPLogP(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.010, G: plogp.Constant(0.100)}
+	nw := New(env, 2, uniformLink(params), Config{})
+	var senderFree, arrived float64
+	env.Process("sender", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 1<<20, 0, "payload")
+		senderFree = p.Now()
+	})
+	env.Process("receiver", func(p *sim.Proc) {
+		m := nw.Recv(p, 1)
+		arrived = p.Now()
+		if m.Payload != "payload" || m.From != 0 || m.To != 1 {
+			t.Errorf("message corrupted: %+v", m)
+		}
+		if m.SentAt != 0 || math.Abs(m.ArrivedAt-0.110) > 1e-12 {
+			t.Errorf("timestamps: sent %g arrived %g", m.SentAt, m.ArrivedAt)
+		}
+	})
+	env.Run()
+	if math.Abs(senderFree-0.100) > 1e-12 {
+		t.Errorf("sender free at %g, want 0.100 (gap)", senderFree)
+	}
+	if math.Abs(arrived-0.110) > 1e-12 {
+		t.Errorf("arrival at %g, want 0.110 (gap+L)", arrived)
+	}
+}
+
+func TestBackToBackSendsSerialise(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.001, G: plogp.Constant(0.050)}
+	nw := New(env, 3, uniformLink(params), Config{})
+	var arrivals []float64
+	env.Process("sender", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 100, 0, nil)
+		nw.Send(p, 0, 2, 100, 0, nil)
+	})
+	for _, node := range []int{1, 2} {
+		env.Process("recv", func(p *sim.Proc) {
+			m := nw.Recv(p, node)
+			arrivals = append(arrivals, m.ArrivedAt)
+		})
+	}
+	env.Run()
+	// First message: g+L = 0.051; second: 2g+L = 0.101.
+	if math.Abs(arrivals[0]-0.051) > 1e-12 || math.Abs(arrivals[1]-0.101) > 1e-12 {
+		t.Errorf("arrivals = %v", arrivals)
+	}
+}
+
+func TestOverheadsApplied(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{
+		L:  0.001,
+		G:  plogp.Constant(0.010),
+		Os: plogp.Constant(0.002),
+		Or: plogp.Constant(0.003),
+	}
+	nw := New(env, 2, uniformLink(params), Config{SoftwareOverhead: 0.004})
+	var free, arrive float64
+	env.Process("s", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 10, 0, nil)
+		free = p.Now()
+	})
+	env.Process("r", func(p *sim.Proc) {
+		nw.Recv(p, 1)
+		arrive = p.Now()
+	})
+	env.Run()
+	wantFree := 0.004 + 0.002 + 0.010
+	wantArrive := wantFree + 0.001 + 0.003
+	if math.Abs(free-wantFree) > 1e-12 {
+		t.Errorf("sender free = %g, want %g", free, wantFree)
+	}
+	if math.Abs(arrive-wantArrive) > 1e-12 {
+		t.Errorf("arrive = %g, want %g", arrive, wantArrive)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	run := func(seed int64) float64 {
+		env := sim.New()
+		params := plogp.Params{L: 0.010, G: plogp.Constant(0.100)}
+		nw := New(env, 2, uniformLink(params), Config{Jitter: 0.1, Seed: seed})
+		env.Process("s", func(p *sim.Proc) { nw.Send(p, 0, 1, 10, 0, nil) })
+		env.Process("r", func(p *sim.Proc) { nw.Recv(p, 1) })
+		return env.Run()
+	}
+	a, b, c := run(1), run(1), run(2)
+	if a != b {
+		t.Error("same seed, different result")
+	}
+	if a == c {
+		t.Error("different seeds should perturb timing")
+	}
+	// Bounds: total in [0.9, 1.1] x (g+L).
+	if a < 0.110*0.9-1e-12 || a > 0.110*1.1+1e-12 {
+		t.Errorf("jittered total %g outside bounds", a)
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("jitter >= 1 should panic")
+		}
+	}()
+	New(sim.New(), 2, uniformLink(plogp.Params{G: plogp.Constant(1)}), Config{Jitter: 1.5})
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	nw := New(sim.New(), 2, uniformLink(plogp.Params{L: 0, G: plogp.Constant(0.1)}), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("self-send should panic")
+		}
+	}()
+	// The check fires before any kernel interaction, so no process needed.
+	nw.Send(nil, 1, 1, 10, 0, nil)
+}
+
+func TestRecvMatchFiltersByTag(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.001, G: plogp.Constant(0.010)}
+	nw := New(env, 2, uniformLink(params), Config{})
+	var tags []int
+	env.Process("s", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 10, 7, nil)  // arrives first
+		nw.Send(p, 0, 1, 10, 42, nil) // arrives second
+	})
+	env.Process("r", func(p *sim.Proc) {
+		m := nw.RecvMatch(p, 1, func(m *Message) bool { return m.Tag == 42 })
+		tags = append(tags, m.Tag)
+		m = nw.Recv(p, 1) // buffered tag-7 message must still be there
+		tags = append(tags, m.Tag)
+	})
+	env.Run()
+	if len(tags) != 2 || tags[0] != 42 || tags[1] != 7 {
+		t.Errorf("tags = %v, want [42 7]", tags)
+	}
+}
+
+func TestRecvMatchScansPendingFirst(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.001, G: plogp.Constant(0.010)}
+	nw := New(env, 2, uniformLink(params), Config{})
+	var got []int
+	env.Process("s", func(p *sim.Proc) {
+		for _, tag := range []int{1, 2, 3} {
+			nw.Send(p, 0, 1, 10, tag, nil)
+		}
+	})
+	env.Process("r", func(p *sim.Proc) {
+		p.Wait(1) // let everything arrive
+		m := nw.RecvMatch(p, 1, func(m *Message) bool { return m.Tag == 3 })
+		got = append(got, m.Tag)
+		m = nw.RecvMatch(p, 1, func(m *Message) bool { return m.Tag == 1 })
+		got = append(got, m.Tag)
+		m = nw.Recv(p, 1)
+		got = append(got, m.Tag)
+	})
+	env.Run()
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("got %v, want [3 1 2]", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.001, G: plogp.Constant(0.010)}
+	nw := New(env, 3, uniformLink(params), Config{})
+	env.Process("s", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 100, 0, nil)
+		nw.Send(p, 0, 2, 200, 0, nil)
+	})
+	env.Process("r1", func(p *sim.Proc) { nw.Recv(p, 1) })
+	env.Process("r2", func(p *sim.Proc) { nw.Recv(p, 2) })
+	env.Run()
+	if nw.Messages != 2 || nw.Bytes != 300 {
+		t.Errorf("counters: %d msgs, %d bytes", nw.Messages, nw.Bytes)
+	}
+	if nw.N() != 3 {
+		t.Errorf("N = %d", nw.N())
+	}
+}
+
+func TestHeterogeneousLinkFunction(t *testing.T) {
+	env := sim.New()
+	fast := plogp.Params{L: 0.001, G: plogp.Constant(0.010)}
+	slow := plogp.Params{L: 0.050, G: plogp.Constant(0.500)}
+	link := func(from, to int) plogp.Params {
+		if from == 0 && to == 2 {
+			return slow
+		}
+		return fast
+	}
+	nw := New(env, 3, link, Config{})
+	var a1, a2 float64
+	env.Process("s", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 10, 0, nil)
+		nw.Send(p, 0, 2, 10, 0, nil)
+	})
+	env.Process("r1", func(p *sim.Proc) { a1 = nw.Recv(p, 1).ArrivedAt })
+	env.Process("r2", func(p *sim.Proc) { a2 = nw.Recv(p, 2).ArrivedAt })
+	env.Run()
+	if math.Abs(a1-0.011) > 1e-12 {
+		t.Errorf("fast arrival = %g", a1)
+	}
+	// slow send starts at 0.010 (after fast gap): 0.010+0.500+0.050.
+	if math.Abs(a2-0.560) > 1e-12 {
+		t.Errorf("slow arrival = %g", a2)
+	}
+}
