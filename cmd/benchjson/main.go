@@ -1,0 +1,212 @@
+// Command benchjson runs the repository benchmarks (or parses an existing
+// `go test -bench` transcript) and emits a machine-readable JSON summary, so
+// successive PRs can track the performance trajectory in BENCH_*.json files.
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-benchtime 1x] [-out BENCH_1.json]
+//	go test -run NONE -bench . -benchmem | benchjson -in - -out BENCH_1.json
+//
+// With -in (a file path, or "-" for stdin) no benchmarks are executed; the
+// transcript is parsed instead. Otherwise the tool invokes
+// `go test -run NONE -bench <regex> -benchmem -benchtime <t>` on the module
+// root and parses its output. Lines that are not benchmark results are
+// ignored, so transcripts with metadata (goos, pkg, PASS) parse cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmarks, with the
+	// trailing -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N of the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was on.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every custom b.ReportMetric value by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	Bench       string   `json:"bench,omitempty"`
+	BenchTime   string   `json:"benchtime,omitempty"`
+	Results     []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
+	in := flag.String("in", "", "parse this transcript (\"-\" for stdin) instead of running go test")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+	}
+	// Results are fully collected — and, in run mode, the go test exit
+	// status checked — before the output file is touched, so a failed or
+	// partial benchmark run never clobbers an existing BENCH_*.json.
+	switch {
+	case *in == "-":
+		results, err := Parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Results = results
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		results, perr := Parse(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+		rep.Results = results
+	default:
+		rep.Bench, rep.BenchTime = *bench, *benchtime
+		cmd := exec.Command("go", "test", "-run", "NONE",
+			"-bench", *bench, "-benchmem", "-benchtime", *benchtime, ".")
+		cmd.Dir = moduleRoot()
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		results, perr := Parse(pipe)
+		if err := cmd.Wait(); err != nil {
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+		if perr != nil {
+			fatal(perr)
+		}
+		rep.Results = results
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fatal(err)
+	}
+}
+
+// Parse extracts benchmark results from a `go test -bench` transcript.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the transcript so piped runs stay observable.
+		fmt.Fprintln(os.Stderr, line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX --- FAIL"
+		}
+		res := Result{
+			Name:       stripProcs(fields[0]),
+			Iterations: iters,
+		}
+		// The tail is (value, unit) pairs.
+		for k := 2; k+1 < len(fields); k += 2 {
+			v, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[k+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = &v
+			case "allocs/op":
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// moduleRoot resolves the enclosing module's directory, so the benchmarks
+// run against the root package no matter where benchjson is invoked from.
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	gomod := strings.TrimSpace(string(out))
+	if err != nil || gomod == "" || gomod == os.DevNull {
+		return "." // outside a module: fall back to the current directory
+	}
+	return filepath.Dir(gomod)
+}
+
+// stripProcs removes the -GOMAXPROCS suffix the testing package appends to
+// benchmark names. The suffix reflects the benchmark run's GOMAXPROCS, so
+// it must be recognised syntactically (a trailing -digits), not by this
+// process's own processor count.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

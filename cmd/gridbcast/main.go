@@ -16,10 +16,10 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/mpi"
-	"repro/internal/sched"
-	"repro/internal/topology"
-	"repro/internal/trace"
+	"gridbcast/internal/mpi"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/trace"
 )
 
 func main() {

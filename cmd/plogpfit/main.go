@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/measure"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/measure"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 func main() {

@@ -19,8 +19,8 @@ import (
 	"path/filepath"
 	"strconv"
 
-	"repro/internal/experiment"
-	"repro/internal/vnet"
+	"gridbcast/internal/experiment"
+	"gridbcast/internal/vnet"
 )
 
 func main() {

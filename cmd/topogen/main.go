@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
 )
 
 func main() {

@@ -9,11 +9,11 @@ import (
 	"fmt"
 	"log"
 
-	gridbcast "repro"
-	"repro/internal/clusterer"
-	"repro/internal/experiment"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	gridbcast "gridbcast"
+	"gridbcast/internal/clusterer"
+	"gridbcast/internal/experiment"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
 )
 
 func main() {

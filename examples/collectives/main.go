@@ -8,9 +8,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/collective"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/collective"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 func main() {

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	gridbcast "repro"
+	gridbcast "gridbcast"
 )
 
 func main() {

@@ -8,10 +8,10 @@ package main
 import (
 	"fmt"
 
-	gridbcast "repro"
-	"repro/internal/sched"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	gridbcast "gridbcast"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
 )
 
 func main() {

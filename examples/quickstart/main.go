@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"log"
 
-	gridbcast "repro"
+	gridbcast "gridbcast"
 )
 
 func main() {

@@ -1,0 +1,3 @@
+module gridbcast
+
+go 1.24

@@ -26,16 +26,16 @@ package gridbcast
 import (
 	"fmt"
 
-	"repro/internal/intracluster"
-	"repro/internal/mpi"
-	"repro/internal/sched"
-	"repro/internal/stats"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/mpi"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 // Re-exported platform types: a Grid is a set of Clusters plus the
-// inter-cluster pLogP matrix. See repro/internal/topology for details.
+// inter-cluster pLogP matrix. See gridbcast/internal/topology for details.
 type (
 	// Grid describes a hierarchical platform.
 	Grid = topology.Grid

@@ -5,9 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/stats"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 func grid5000Plan(t *testing.T, m int64) *Plan {

@@ -3,9 +3,9 @@ package collective
 import (
 	"fmt"
 
-	"repro/internal/plogp"
-	"repro/internal/sim"
-	"repro/internal/vnet"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sim"
+	"gridbcast/internal/vnet"
 )
 
 // Tags on the virtual network.

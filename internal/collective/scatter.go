@@ -16,7 +16,7 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/topology"
+	"gridbcast/internal/topology"
 )
 
 // Plan is a costed scatter/gather instance: the grid flattened into the

@@ -1,9 +1,9 @@
 package collective
 
-import "repro/internal/topology"
+import "gridbcast/internal/topology"
 
 // Local aliases keep signatures in this package short; the canonical types
-// live in repro/internal/topology.
+// live in gridbcast/internal/topology.
 type (
 	grid    = topology.Grid
 	cluster = topology.Cluster

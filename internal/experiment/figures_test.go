@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 // testMC returns a Monte-Carlo config small enough for unit tests but large

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/clusterer"
-	"repro/internal/mpi"
-	"repro/internal/sched"
-	"repro/internal/stats"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/clusterer"
+	"gridbcast/internal/mpi"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 // DefaultSizes is the message-size sweep of Figures 5 and 6 (the paper

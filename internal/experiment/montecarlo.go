@@ -5,9 +5,9 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/sched"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
 )
 
 // MonteCarlo configures the §6 simulation study: random platforms drawn

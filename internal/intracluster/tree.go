@@ -12,7 +12,7 @@ package intracluster
 import (
 	"fmt"
 
-	"repro/internal/plogp"
+	"gridbcast/internal/plogp"
 )
 
 // Shape selects a broadcast tree topology.

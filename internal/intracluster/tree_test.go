@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/plogp"
+	"gridbcast/internal/plogp"
 )
 
 var testParams = plogp.Params{L: 0.001, G: plogp.Constant(0.010)}

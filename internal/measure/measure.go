@@ -19,9 +19,9 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/plogp"
-	"repro/internal/sim"
-	"repro/internal/vnet"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sim"
+	"gridbcast/internal/vnet"
 )
 
 // Config tunes the measurement procedure.

@@ -4,9 +4,9 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/plogp"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 func TestLinkReconstructsIdealParameters(t *testing.T) {

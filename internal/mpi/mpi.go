@@ -15,12 +15,12 @@ package mpi
 import (
 	"fmt"
 
-	"repro/internal/intracluster"
-	"repro/internal/plogp"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/sim"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 // Tags distinguish wide-area from local traffic.

@@ -4,11 +4,11 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/intracluster"
-	"repro/internal/sched"
-	"repro/internal/stats"
-	"repro/internal/topology"
-	"repro/internal/vnet"
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
 )
 
 // TestExecutionMatchesPredictionRandomGrids is the central cross-validation

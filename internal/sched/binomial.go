@@ -1,8 +1,8 @@
 package sched
 
 import (
-	"repro/internal/intracluster"
-	"repro/internal/topology"
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/topology"
 )
 
 // PredictBinomialGridUnaware predicts the completion time of the "default

@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
 )
 
 // lowerBound is a makespan bound valid for every schedule under both

@@ -23,8 +23,10 @@ func (FlatTree) pick(p *Problem, s *state) (int, int) {
 	return -1, -1
 }
 
+func (FlatTree) engine(p *Problem) policy { return &flatEngine{d: 1} }
+
 // Schedule implements Heuristic.
-func (h FlatTree) Schedule(p *Problem) *Schedule { return run(h, p) }
+func (h FlatTree) Schedule(p *Problem) *Schedule { return schedule(h, p) }
 
 // ---------------------------------------------------------------------------
 // Fastest Edge First (Bhat, §4.2)
@@ -82,25 +84,79 @@ func (h FEF) pick(p *Problem, s *state) (int, int) {
 	return bi, bj
 }
 
+func (h FEF) engine(p *Problem) policy { return newFEFEngine(h, p) }
+
 // Schedule implements Heuristic.
-func (h FEF) Schedule(p *Problem) *Schedule { return run(h, p) }
+func (h FEF) Schedule(p *Problem) *Schedule { return schedule(h, p) }
 
 // ---------------------------------------------------------------------------
 // Early Completion Edge First (Bhat, §4.3) and its lookahead family
 
-// lookahead computes F_j for the ECEF-LA variants; nil means plain ECEF.
-type lookahead func(p *Problem, s *state, j int) float64
+// laKind selects the lookahead term F_j of the ECEF variants.
+type laKind int
 
-// ecef is the shared engine for ECEF and every lookahead variant: it
+const (
+	// laNone is plain ECEF (no lookahead).
+	laNone laKind = iota
+	// laMinW is ECEF-LA: F_j = min_k W[j][k] over k still in B.
+	laMinW
+	// laMinWT is ECEF-LAt: F_j = min_k (W[j][k] + T_k).
+	laMinWT
+	// laMaxWT is ECEF-LAT: F_j = max_k (W[j][k] + T_k).
+	laMaxWT
+)
+
+// ecef is the shared picker for ECEF and every lookahead variant: it
 // minimises RT_i + g_{i,j}(m) + L_{i,j} (+ F_j), where RT_i here is the
 // sender's earliest availability, accounting for its previous transmissions
 // (the paper's Ready Time).
 type ecef struct {
 	name string
-	la   lookahead
+	kind laKind
 }
 
 func (h ecef) Name() string { return h.name }
+
+// lookahead computes F_j over the clusters still in B; it returns 0 when B
+// holds no cluster beyond j itself.
+func (h ecef) lookahead(p *Problem, s *state, j int) float64 {
+	switch h.kind {
+	case laMinW:
+		best, found := 0.0, false
+		for k := 0; k < p.N; k++ {
+			if s.inA[k] || k == j {
+				continue
+			}
+			if w := p.W[j][k]; !found || w < best {
+				best, found = w, true
+			}
+		}
+		return best
+	case laMinWT:
+		best, found := 0.0, false
+		for k := 0; k < p.N; k++ {
+			if s.inA[k] || k == j {
+				continue
+			}
+			if w := p.W[j][k] + p.T[k]; !found || w < best {
+				best, found = w, true
+			}
+		}
+		return best
+	case laMaxWT:
+		best := 0.0
+		for k := 0; k < p.N; k++ {
+			if s.inA[k] || k == j {
+				continue
+			}
+			if w := p.W[j][k] + p.T[k]; w > best {
+				best = w
+			}
+		}
+		return best
+	}
+	return 0
+}
 
 func (h ecef) pick(p *Problem, s *state) (int, int) {
 	best := math.Inf(1)
@@ -109,10 +165,7 @@ func (h ecef) pick(p *Problem, s *state) (int, int) {
 		if s.inA[j] {
 			continue
 		}
-		fj := 0.0
-		if h.la != nil {
-			fj = h.la(p, s, j)
-		}
+		fj := h.lookahead(p, s, j)
 		for i := 0; i < p.N; i++ {
 			if !s.inA[i] {
 				continue
@@ -126,7 +179,9 @@ func (h ecef) pick(p *Problem, s *state) (int, int) {
 	return bi, bj
 }
 
-func (h ecef) Schedule(p *Problem) *Schedule { return run(h, p) }
+func (h ecef) engine(p *Problem) policy { return newECEFEngine(h, p) }
+
+func (h ecef) Schedule(p *Problem) *Schedule { return schedule(h, p) }
 
 // ECEF returns Bhat's Early Completion Edge First heuristic.
 func ECEF() Heuristic { return ecef{name: "ECEF"} }
@@ -134,60 +189,19 @@ func ECEF() Heuristic { return ecef{name: "ECEF"} }
 // ECEFLA returns Bhat's ECEF with lookahead: F_j is the minimal transmission
 // time from j to any other cluster still in B, i.e. the utility of j as a
 // future sender.
-func ECEFLA() Heuristic {
-	return ecef{name: "ECEF-LA", la: func(p *Problem, s *state, j int) float64 {
-		best := 0.0
-		found := false
-		for k := 0; k < p.N; k++ {
-			if s.inA[k] || k == j {
-				continue
-			}
-			if w := p.W[j][k]; !found || w < best {
-				best, found = w, true
-			}
-		}
-		return best
-	}}
-}
+func ECEFLA() Heuristic { return ecef{name: "ECEF-LA", kind: laMinW} }
 
 // ECEFLAt returns the paper's first grid-aware heuristic (§5.1): the
 // lookahead adds the receiver-side broadcast time, F_j = min_k (g_{j,k} +
 // L_{j,k} + T_k), so the chosen receiver can reach clusters that will also
 // finish their local broadcast quickly.
-func ECEFLAt() Heuristic {
-	return ecef{name: "ECEF-LAt", la: func(p *Problem, s *state, j int) float64 {
-		best := 0.0
-		found := false
-		for k := 0; k < p.N; k++ {
-			if s.inA[k] || k == j {
-				continue
-			}
-			if w := p.W[j][k] + p.T[k]; !found || w < best {
-				best, found = w, true
-			}
-		}
-		return best
-	}}
-}
+func ECEFLAt() Heuristic { return ecef{name: "ECEF-LAt", kind: laMinWT} }
 
 // ECEFLAT returns the paper's second grid-aware heuristic (§5.2): same
 // shape but F_j = max_k (g_{j,k} + L_{j,k} + T_k), prioritising clusters
 // that reach the slowest remaining broadcasts so those start early and
 // overlap wide-area traffic.
-func ECEFLAT() Heuristic {
-	return ecef{name: "ECEF-LAT", la: func(p *Problem, s *state, j int) float64 {
-		best := 0.0
-		for k := 0; k < p.N; k++ {
-			if s.inA[k] || k == j {
-				continue
-			}
-			if w := p.W[j][k] + p.T[k]; w > best {
-				best = w
-			}
-		}
-		return best
-	}}
-}
+func ECEFLAT() Heuristic { return ecef{name: "ECEF-LAT", kind: laMaxWT} }
 
 // ---------------------------------------------------------------------------
 // BottomUp (paper §5.3)
@@ -227,8 +241,10 @@ func (BottomUp) pick(p *Problem, s *state) (int, int) {
 	return bi, bj
 }
 
+func (BottomUp) engine(p *Problem) policy { return newBUEngine(p) }
+
 // Schedule implements Heuristic.
-func (h BottomUp) Schedule(p *Problem) *Schedule { return run(h, p) }
+func (h BottomUp) Schedule(p *Problem) *Schedule { return schedule(h, p) }
 
 // ---------------------------------------------------------------------------
 // Mixed strategy (paper §6, closing recommendation)
@@ -253,15 +269,17 @@ func (h Mixed) threshold() int {
 	return 10
 }
 
+// inner returns the heuristic Mixed delegates to for this problem size.
+func (h Mixed) inner(p *Problem) Heuristic {
+	if p.N <= h.threshold() {
+		return ECEFLA()
+	}
+	return ECEFLAT()
+}
+
 // Schedule implements Heuristic.
 func (h Mixed) Schedule(p *Problem) *Schedule {
-	var inner Heuristic
-	if p.N <= h.threshold() {
-		inner = ECEFLA()
-	} else {
-		inner = ECEFLAT()
-	}
-	sc := inner.Schedule(p)
+	sc := h.inner(p).Schedule(p)
 	sc.Heuristic = h.Name()
 	return sc
 }

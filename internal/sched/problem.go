@@ -18,8 +18,8 @@ package sched
 import (
 	"fmt"
 
-	"repro/internal/intracluster"
-	"repro/internal/topology"
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/topology"
 )
 
 // Problem is a fully costed scheduling instance: the pLogP matrices
@@ -35,9 +35,35 @@ type Problem struct {
 	// MsgSize is the broadcast payload in bytes.
 	MsgSize int64
 	// G[i][j] = g_{i,j}(m), L[i][j] = latency, W[i][j] = G + L.
+	//
+	// The matrices are READ-ONLY: they alias the grid's per-message-size
+	// EdgeCosts cache and are shared by every Problem built from the same
+	// grid at the same size. Perturbation studies must perturb the grid
+	// (before its first costing) and build a fresh Problem, not write to
+	// these slices.
 	G, L, W [][]float64
 	// T[i] is the intra-cluster broadcast time of cluster i.
 	T []float64
+
+	// wt is W transposed (wt[j][i] = W[i][j]), built by NewProblem so the
+	// incremental engine's per-receiver scans run over contiguous rows.
+	wt [][]float64
+}
+
+// transposedW returns W column-major; Problems built outside NewProblem
+// (tests) get a fresh transpose.
+func (p *Problem) transposedW() [][]float64 {
+	if p.wt != nil {
+		return p.wt
+	}
+	wt := make([][]float64, p.N)
+	for j := 0; j < p.N; j++ {
+		wt[j] = make([]float64, p.N)
+		for i := 0; i < p.N; i++ {
+			wt[j][i] = p.W[i][j]
+		}
+	}
+	return wt
 }
 
 // Options tune problem construction.
@@ -71,28 +97,22 @@ func NewProblem(g *topology.Grid, root int, m int64, opt Options) (*Problem, err
 	if m < 0 {
 		return nil, fmt.Errorf("sched: negative message size %d", m)
 	}
+	// The evaluated pLogP matrices are cached per message size on the grid
+	// and shared between problems (read-only by convention), so repeated
+	// constructions over one platform skip the piecewise-linear lookups.
+	ec := g.EdgeCosts(m)
 	p := &Problem{
 		N:       n,
 		Root:    root,
 		Overlap: opt.Overlap,
 		MsgSize: m,
-		G:       make([][]float64, n),
-		L:       make([][]float64, n),
-		W:       make([][]float64, n),
+		G:       ec.G,
+		L:       ec.L,
+		W:       ec.W,
 		T:       make([]float64, n),
+		wt:      ec.WT,
 	}
 	for i := 0; i < n; i++ {
-		p.G[i] = make([]float64, n)
-		p.L[i] = make([]float64, n)
-		p.W[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			p.G[i][j] = g.Gap(i, j, m)
-			p.L[i][j] = g.Latency(i, j)
-			p.W[i][j] = p.G[i][j] + p.L[i][j]
-		}
 		c := g.Clusters[i]
 		if c.BcastTime > 0 {
 			p.T[i] = c.BcastTime

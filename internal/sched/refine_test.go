@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
 )
 
 func TestRefineNeverWorse(t *testing.T) {

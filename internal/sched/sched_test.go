@@ -4,10 +4,10 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/intracluster"
-	"repro/internal/plogp"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
 )
 
 // tinyGrid builds a deterministic 3-cluster grid: link costs are chosen so

@@ -49,7 +49,7 @@ func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
-		r.env.Schedule(0, func() { r.env.transfer(w, true) })
+		r.env.scheduleResume(0, w)
 	}
 }
 
@@ -86,8 +86,7 @@ func (b *Barrier) Wait(p *Proc) {
 		b.arrived = 0
 		b.gen++
 		for _, w := range b.waiters {
-			w := w
-			b.env.Schedule(0, func() { b.env.transfer(w, true) })
+			b.env.scheduleResume(0, w)
 		}
 		b.waiters = b.waiters[:0]
 		return

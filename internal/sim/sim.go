@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -23,32 +22,78 @@ import (
 // errKilled is the sentinel panic value used to unwind killed processes.
 var errKilled = errors.New("sim: process killed")
 
-// event is one scheduled kernel action.
+// Event kinds. Resuming a blocked process and delivering a channel message
+// are the kernel's two hot actions, so they are encoded directly in the
+// event instead of closing over their targets: scheduling then allocates
+// nothing beyond the (amortised, reused) heap slot itself.
+const (
+	evFunc uint8 = iota
+	evResume
+	evDeliver
+)
+
+// event is one scheduled kernel action: a tagged union stored by value in
+// the queue. The queue's backing array acts as the event pool — slots are
+// recycled in place as events are popped and pushed, so steady-state
+// simulation performs no per-event allocation.
 type event struct {
 	time float64
 	seq  int64
-	fn   func()
+	kind uint8
+	proc *Proc  // evResume target
+	ch   *Chan  // evDeliver target
+	msg  any    // evDeliver payload
+	fn   func() // evFunc body
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*event
+// eventQueue is a hand-rolled binary min-heap of value-typed events ordered
+// by (time, seq); ties resolve in schedule order, keeping runs reproducible.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (q *eventQueue) push(ev event) {
+	s := append(*q, ev)
+	for c := len(s) - 1; c > 0; {
+		p := (c - 1) / 2
+		if !eventLess(&s[c], &s[p]) {
+			break
+		}
+		s[c], s[p] = s[p], s[c]
+		c = p
+	}
+	*q = s
+}
+
+func (q *eventQueue) pop() event {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop references held by the vacated pool slot
+	s = s[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(&s[r], &s[l]) {
+			m = r
+		}
+		if !eventLess(&s[m], &s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*q = s
+	return top
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
@@ -56,7 +101,7 @@ func (h *eventHeap) Pop() any {
 // processes interact with it exclusively through kernel primitives.
 type Env struct {
 	now   float64
-	queue eventHeap
+	queue eventQueue
 	seq   int64
 	yield chan struct{}
 	live  map[*Proc]struct{}
@@ -86,7 +131,21 @@ func (e *Env) Schedule(delay float64, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %g", delay))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{time: e.now + delay, seq: e.seq, fn: fn})
+	e.queue.push(event{time: e.now + delay, seq: e.seq, kind: evFunc, fn: fn})
+}
+
+// scheduleResume schedules p to be handed control at now+delay without
+// allocating a closure.
+func (e *Env) scheduleResume(delay float64, p *Proc) {
+	e.seq++
+	e.queue.push(event{time: e.now + delay, seq: e.seq, kind: evResume, proc: p})
+}
+
+// scheduleDeliver schedules the delivery of msg on ch at now+delay without
+// allocating a closure.
+func (e *Env) scheduleDeliver(delay float64, ch *Chan, msg any) {
+	e.seq++
+	e.queue.push(event{time: e.now + delay, seq: e.seq, kind: evDeliver, ch: ch, msg: msg})
 }
 
 // Proc is a simulated process. Its function runs in a dedicated goroutine
@@ -128,7 +187,7 @@ func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.transfer(p, true) })
+	e.scheduleResume(0, p)
 	return p
 }
 
@@ -158,8 +217,7 @@ func (p *Proc) Wait(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative wait %g", d))
 	}
-	e := p.env
-	e.Schedule(d, func() { e.transfer(p, true) })
+	p.env.scheduleResume(d, p)
 	p.block()
 }
 
@@ -172,14 +230,20 @@ func (e *Env) Run() float64 { return e.RunUntil(math.Inf(1)) }
 // time reached (limit if events remain beyond it).
 func (e *Env) RunUntil(limit float64) float64 {
 	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.time > limit {
+		if e.queue[0].time > limit {
 			e.now = limit
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		ev := e.queue.pop()
 		e.now = ev.time
-		ev.fn()
+		switch ev.kind {
+		case evResume:
+			e.transfer(ev.proc, true)
+		case evDeliver:
+			ev.ch.deliver(ev.msg)
+		default:
+			ev.fn()
+		}
 	}
 	return e.now
 }
@@ -214,7 +278,10 @@ func (c *Chan) Send(v any) { c.deliver(v) }
 // SendAfter delivers v after d seconds of virtual time; the caller is not
 // blocked. This is the primitive network links use for latency.
 func (c *Chan) SendAfter(d float64, v any) {
-	c.env.Schedule(d, func() { c.deliver(v) })
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	c.env.scheduleDeliver(d, c, v)
 }
 
 func (c *Chan) deliver(v any) {
@@ -222,7 +289,7 @@ func (c *Chan) deliver(v any) {
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
-		c.env.Schedule(0, func() { c.env.transfer(w, true) })
+		c.env.scheduleResume(0, w)
 	}
 }
 

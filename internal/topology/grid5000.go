@@ -3,7 +3,7 @@ package topology
 import (
 	"math/rand"
 
-	"repro/internal/plogp"
+	"gridbcast/internal/plogp"
 )
 
 // Table 3 of the paper: measured latency (microseconds) between the six

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/plogp"
+	"gridbcast/internal/plogp"
 )
 
 // Multi-level platform generator following the communication-level

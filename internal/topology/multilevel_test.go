@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/stats"
+	"gridbcast/internal/stats"
 )
 
 func TestMultiLevelGridStructure(t *testing.T) {

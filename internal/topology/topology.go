@@ -16,8 +16,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sync"
 
-	"repro/internal/plogp"
+	"gridbcast/internal/plogp"
 )
 
 // Cluster is one homogeneous group of machines.
@@ -45,6 +46,63 @@ type Grid struct {
 	// cluster i's coordinator to cluster j's coordinator. Inter[i][i] is
 	// ignored. The matrix need not be symmetric.
 	Inter [][]plogp.Params `json:"inter"`
+
+	// costMu guards costs, the per-message-size cache of evaluated pLogP
+	// matrices. The cache is never invalidated: platform descriptions are
+	// immutable once costed (construction-time edits happen before the
+	// first EdgeCosts call).
+	costMu sync.Mutex
+	costs  map[int64]*EdgeCosts
+}
+
+// EdgeCosts is the wide-area pLogP matrices of a grid evaluated at one
+// message size. G[i][j] = g_{i,j}(m), L[i][j] = latency, W = G + L, and WT
+// is W transposed (WT[j][i] = W[i][j], for receiver-major scans). The
+// matrices are shared by every caller — treat them as read-only.
+type EdgeCosts struct {
+	G, L, W, WT [][]float64
+}
+
+// EdgeCosts evaluates (or returns the cached) wide-area cost matrices for a
+// broadcast payload of m bytes. Repeated schedule constructions over the
+// same platform — root rotations, Monte-Carlo replications at the paper's
+// fixed 1 MB size, figure sweeps — skip the piecewise-linear pLogP
+// evaluations entirely after the first call.
+func (g *Grid) EdgeCosts(m int64) *EdgeCosts {
+	g.costMu.Lock()
+	defer g.costMu.Unlock()
+	if ec, ok := g.costs[m]; ok {
+		return ec
+	}
+	n := g.N()
+	ec := &EdgeCosts{
+		G:  make([][]float64, n),
+		L:  make([][]float64, n),
+		W:  make([][]float64, n),
+		WT: make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		ec.G[i] = make([]float64, n)
+		ec.L[i] = make([]float64, n)
+		ec.W[i] = make([]float64, n)
+		ec.WT[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ec.G[i][j] = g.Gap(i, j, m)
+			ec.L[i][j] = g.Latency(i, j)
+			ec.W[i][j] = ec.G[i][j] + ec.L[i][j]
+			ec.WT[j][i] = ec.W[i][j]
+		}
+	}
+	if g.costs == nil {
+		g.costs = map[int64]*EdgeCosts{}
+	}
+	g.costs[m] = ec
+	return ec
 }
 
 // N returns the number of clusters.

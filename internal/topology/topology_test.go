@@ -4,11 +4,12 @@ import (
 	"bytes"
 	"math"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 
-	"repro/internal/plogp"
-	"repro/internal/stats"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/stats"
 )
 
 func twoClusterGrid() *Grid {
@@ -269,4 +270,39 @@ func TestRandomGridProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestEdgeCostsCachedAndConsistent(t *testing.T) {
+	g := Grid5000()
+	m := int64(1 << 20)
+	a := g.EdgeCosts(m)
+	if b := g.EdgeCosts(m); a != b {
+		t.Error("repeated size did not hit the cache")
+	}
+	if c := g.EdgeCosts(1 << 10); c == a {
+		t.Error("different sizes share a cache entry")
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if i == j {
+				continue
+			}
+			if a.G[i][j] != g.Gap(i, j, m) || a.L[i][j] != g.Latency(i, j) {
+				t.Fatalf("cached cost %d->%d diverges from direct evaluation", i, j)
+			}
+			if a.W[i][j] != a.G[i][j]+a.L[i][j] || a.WT[j][i] != a.W[i][j] {
+				t.Fatalf("W/WT inconsistent at %d->%d", i, j)
+			}
+		}
+	}
+	// Concurrent lookups must be safe (run under -race).
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			g.EdgeCosts(int64(1 << (10 + k%4)))
+		}(k)
+	}
+	wg.Wait()
 }

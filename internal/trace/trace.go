@@ -9,8 +9,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/sched"
-	"repro/internal/topology"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/topology"
 )
 
 // WriteCSV exports the schedule's events, one row per inter-cluster

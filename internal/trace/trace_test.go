@@ -7,8 +7,8 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/sched"
-	"repro/internal/topology"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/topology"
 )
 
 func demoSchedule(t *testing.T) (*topology.Grid, *sched.Schedule, *sched.Problem) {

@@ -5,9 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/plogp"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sim"
+	"gridbcast/internal/stats"
 )
 
 // TestDeliveryInvariantsProperty drives random traffic through a random

@@ -16,8 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/plogp"
-	"repro/internal/sim"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sim"
 )
 
 // Message is one payload in flight or delivered.

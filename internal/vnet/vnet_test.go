@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/plogp"
-	"repro/internal/sim"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sim"
 )
 
 // uniformLink gives every pair the same parameters.
