@@ -360,6 +360,75 @@ func BenchmarkCollectives(b *testing.B) {
 	})
 }
 
+// BenchmarkSegmentedSchedule measures segment-aware schedule construction
+// (exact per-segment timing included) on the 88-machine grid at 16 MB / 128
+// segments, plus the quality it buys: the makespan ratio against the best
+// unsegmented heuristic (< 1 means the pipelined workload wins).
+func BenchmarkSegmentedSchedule(b *testing.B) {
+	g := topology.Grid5000()
+	const m = 16 << 20
+	sp := sched.MustSegmentedProblem(g, 0, m, 128<<10, sched.Options{})
+	var ss *sched.SegmentedSchedule
+	for i := 0; i < b.N; i++ {
+		ss = sched.ScheduleSegmented(sched.Mixed{}, sp)
+	}
+	p := sched.MustProblem(g, 0, m, sched.Options{})
+	best, _ := sched.BestOf(sched.Paper(), p)
+	b.ReportMetric(ss.Makespan/best.Makespan, "vs-unseg")
+}
+
+// BenchmarkPipelinedLadder measures the full segment-size ladder search
+// (DefaultSegmentLadder, 12 candidates at 16 MB) behind Pipelined.Best.
+func BenchmarkPipelinedLadder(b *testing.B) {
+	g := topology.Grid5000()
+	for i := 0; i < b.N; i++ {
+		if _, err := (sched.Pipelined{}).Best(g, 0, 16<<20, sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentedExecution measures one message-level execution of a
+// pipelined 88-machine broadcast (4 MB in 16 segments).
+func BenchmarkSegmentedExecution(b *testing.B) {
+	g := topology.Grid5000()
+	ss := sched.ScheduleSegmented(sched.Mixed{}, sched.MustSegmentedProblem(g, 0, 4<<20, 256<<10, sched.Options{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpi.ExecuteSegmentedSchedule(g, ss, mpi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePool measures the engine pool against fresh engine builds
+// on a root-rotation workload at 128 clusters (the reuse case the pool's
+// lookahead templates target); the pooled variant reuses one pool across
+// all roots.
+func BenchmarkEnginePool(b *testing.B) {
+	g := topology.RandomGrid(stats.NewRand(1), 128)
+	probs := make([]*sched.Problem, 8)
+	for root := range probs {
+		probs[root] = sched.MustProblem(g, root, 1<<20, sched.Options{Overlap: true})
+	}
+	h := sched.ECEFLAT()
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range probs {
+				h.Schedule(p)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		ep := sched.NewEnginePool()
+		for i := 0; i < b.N; i++ {
+			for _, p := range probs {
+				ep.Schedule(h, p)
+			}
+		}
+	})
+}
+
 // BenchmarkSimKernel measures raw event throughput of the discrete-event
 // kernel (ping-pong between two processes).
 func BenchmarkSimKernel(b *testing.B) {

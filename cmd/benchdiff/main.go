@@ -1,0 +1,221 @@
+// Command benchdiff compares two BENCH_*.json snapshots produced by
+// cmd/benchjson and exits non-zero when a benchmark present in both files
+// regressed beyond the tolerance in ns/op or allocs/op. It is the CI gate
+// that keeps the repository's performance trajectory monotone (see the
+// bench-regression job in .github/workflows/ci.yml).
+//
+// Usage:
+//
+//	benchdiff [-tol 0.10] [-alloc-tol 0.10] [-ns-floor 100000] [-alloc-slack 2] old.json new.json
+//
+// Rules:
+//
+//   - Only benchmarks present in BOTH snapshots are compared; added
+//     benchmarks are listed informationally, removed ones produce a
+//     warning (a silently dropped benchmark is how regressions hide).
+//   - ns/op: a regression when new > old·(1+tol), but only for benchmarks
+//     whose old ns/op is at least -ns-floor — smoke runs execute one or a
+//     few iterations, so sub-floor timings are timer noise, not signal.
+//   - allocs/op: a regression when new > old·(1+tol) + -alloc-slack.
+//     Allocation counts are deterministic, so the floor is a small
+//     absolute slack rather than a magnitude cutoff.
+//
+// Exit status: 0 when clean, 1 on regressions, 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's Result.
+type result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// report mirrors cmd/benchjson's Report.
+type report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	Results     []result `json:"results"`
+}
+
+// Options tune the comparison.
+type Options struct {
+	// Tol is the relative ns/op regression tolerance (0.10 = +10%).
+	Tol float64
+	// AllocTol is the relative allocs/op tolerance; negative means "same
+	// as Tol". Allocation counts are machine-independent, so CI diffs
+	// against snapshots from other hardware keep AllocTol tight while
+	// widening Tol.
+	AllocTol float64
+	// NsFloor is the minimum old ns/op for the timing check to apply.
+	NsFloor float64
+	// AllocSlack is the absolute allocs/op slack added on top of AllocTol.
+	AllocSlack float64
+}
+
+func (o Options) allocTol() float64 {
+	if o.AllocTol < 0 {
+		return o.Tol
+	}
+	return o.AllocTol
+}
+
+// Delta is the comparison outcome for one benchmark common to both files.
+type Delta struct {
+	Name            string
+	OldNs, NewNs    float64
+	NsRatio         float64 // new/old
+	OldAllocs       *float64
+	NewAllocs       *float64
+	NsRegressed     bool
+	AllocsRegressed bool
+	NsBelowFloor    bool
+}
+
+// Regressed reports whether either metric regressed.
+func (d *Delta) Regressed() bool { return d.NsRegressed || d.AllocsRegressed }
+
+// Compare diffs the snapshots benchmark-by-benchmark. added and removed list
+// names only in one snapshot, in sorted order.
+func Compare(old, new []result, opt Options) (deltas []Delta, added, removed []string) {
+	oldBy := make(map[string]result, len(old))
+	for _, r := range old {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(new))
+	for _, nr := range new {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			added = append(added, nr.Name)
+			continue
+		}
+		d := Delta{Name: nr.Name, OldNs: or.NsPerOp, NewNs: nr.NsPerOp,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp}
+		if or.NsPerOp > 0 {
+			d.NsRatio = nr.NsPerOp / or.NsPerOp
+		}
+		d.NsBelowFloor = or.NsPerOp < opt.NsFloor
+		if !d.NsBelowFloor && nr.NsPerOp > or.NsPerOp*(1+opt.Tol) {
+			d.NsRegressed = true
+		}
+		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil &&
+			*nr.AllocsPerOp > *or.AllocsPerOp*(1+opt.allocTol())+opt.AllocSlack {
+			d.AllocsRegressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	for _, r := range old {
+		if !seen[r.Name] {
+			removed = append(removed, r.Name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(added)
+	sort.Strings(removed)
+	return deltas, added, removed
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "relative ns/op regression tolerance (0.10 = +10%)")
+	allocTol := flag.Float64("alloc-tol", -1, "relative allocs/op tolerance (negative = same as -tol)")
+	nsFloor := flag.Float64("ns-floor", 100000, "skip the ns/op check when the old value is below this (timer noise)")
+	allocSlack := flag.Float64("alloc-slack", 2, "absolute allocs/op slack on top of the allocs tolerance")
+	verbose := flag.Bool("v", false, "print every compared benchmark, not only regressions")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	new, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	deltas, added, removed := Compare(old.Results, new.Results, Options{
+		Tol: *tol, AllocTol: *allocTol, NsFloor: *nsFloor, AllocSlack: *allocSlack,
+	})
+
+	bad := 0
+	for _, d := range deltas {
+		if d.Regressed() {
+			bad++
+		}
+		if d.Regressed() || *verbose {
+			fmt.Printf("%s %-60s ns/op %12.0f -> %12.0f (%+.1f%%)%s%s\n",
+				verdict(&d), d.Name, d.OldNs, d.NewNs, (d.NsRatio-1)*100,
+				allocsColumn(&d), noteColumn(&d))
+		}
+	}
+	fmt.Printf("benchdiff: %d compared, %d regressed, %d added, %d removed (tol %+.0f%%, ns floor %gns)\n",
+		len(deltas), bad, len(added), len(removed), *tol*100, *nsFloor)
+	for _, name := range added {
+		fmt.Printf("  added:   %s\n", name)
+	}
+	for _, name := range removed {
+		fmt.Printf("  REMOVED: %s\n", name)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func verdict(d *Delta) string {
+	if d.Regressed() {
+		return "FAIL"
+	}
+	return "ok  "
+}
+
+func allocsColumn(d *Delta) string {
+	if d.OldAllocs == nil || d.NewAllocs == nil {
+		return ""
+	}
+	return fmt.Sprintf("  allocs/op %8.0f -> %8.0f", *d.OldAllocs, *d.NewAllocs)
+}
+
+func noteColumn(d *Delta) string {
+	switch {
+	case d.NsRegressed && d.AllocsRegressed:
+		return "  [ns+allocs regression]"
+	case d.NsRegressed:
+		return "  [ns regression]"
+	case d.AllocsRegressed:
+		return "  [allocs regression]"
+	case d.NsBelowFloor:
+		return "  [ns below floor, timing not compared]"
+	}
+	return ""
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,108 @@
+package main
+
+import "testing"
+
+func f(v float64) *float64 { return &v }
+
+func opts() Options { return Options{Tol: 0.10, AllocTol: -1, NsFloor: 100000, AllocSlack: 2} }
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	old := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(100)}}
+	new := []result{{Name: "BenchmarkA", NsPerOp: 1.2e6, AllocsPerOp: f(100)}}
+	deltas, _, _ := Compare(old, new, opts())
+	if len(deltas) != 1 || !deltas[0].NsRegressed || deltas[0].AllocsRegressed {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	old := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(100)}}
+	new := []result{{Name: "BenchmarkA", NsPerOp: 1.09e6, AllocsPerOp: f(108)}}
+	deltas, _, _ := Compare(old, new, opts())
+	if deltas[0].Regressed() {
+		t.Fatalf("within-tolerance drift flagged: %+v", deltas[0])
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	old := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(100)}}
+	new := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(120)}}
+	deltas, _, _ := Compare(old, new, opts())
+	if !deltas[0].AllocsRegressed || deltas[0].NsRegressed {
+		t.Fatalf("deltas = %+v", deltas[0])
+	}
+}
+
+func TestCompareAllocSlackAbsorbsTinyCounts(t *testing.T) {
+	// 1 -> 3 allocs is +200% but within the absolute slack; 1 -> 4 is not.
+	old := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(1)}}
+	ok := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(3)}}
+	deltas, _, _ := Compare(old, ok, opts())
+	if deltas[0].AllocsRegressed {
+		t.Fatalf("slack not applied: %+v", deltas[0])
+	}
+	bad := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(4)}}
+	deltas, _, _ = Compare(old, bad, opts())
+	if !deltas[0].AllocsRegressed {
+		t.Fatalf("beyond-slack growth not flagged: %+v", deltas[0])
+	}
+}
+
+func TestCompareNsFloorSilencesNoise(t *testing.T) {
+	// 3µs benchmarks jitter wildly at -benchtime 1x; the floor mutes the
+	// timing check but allocs are still compared.
+	old := []result{{Name: "BenchmarkTiny", NsPerOp: 3000, AllocsPerOp: f(10)}}
+	new := []result{{Name: "BenchmarkTiny", NsPerOp: 9000, AllocsPerOp: f(30)}}
+	deltas, _, _ := Compare(old, new, opts())
+	if deltas[0].NsRegressed || !deltas[0].NsBelowFloor {
+		t.Fatalf("floor not applied: %+v", deltas[0])
+	}
+	if !deltas[0].AllocsRegressed {
+		t.Fatalf("allocs regression hidden by the floor: %+v", deltas[0])
+	}
+}
+
+func TestCompareAddedAndRemoved(t *testing.T) {
+	old := []result{
+		{Name: "BenchmarkKept", NsPerOp: 1e6},
+		{Name: "BenchmarkGone", NsPerOp: 1e6},
+	}
+	new := []result{
+		{Name: "BenchmarkKept", NsPerOp: 1e6},
+		{Name: "BenchmarkNew", NsPerOp: 5e6},
+	}
+	deltas, added, removed := Compare(old, new, opts())
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkKept" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if len(added) != 1 || added[0] != "BenchmarkNew" {
+		t.Fatalf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "BenchmarkGone" {
+		t.Fatalf("removed = %v", removed)
+	}
+}
+
+func TestCompareMissingAllocsSkipsAllocCheck(t *testing.T) {
+	old := []result{{Name: "BenchmarkA", NsPerOp: 1e6}}
+	new := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(1e9)}}
+	deltas, _, _ := Compare(old, new, opts())
+	if deltas[0].Regressed() {
+		t.Fatalf("alloc check ran without a baseline: %+v", deltas[0])
+	}
+}
+
+func TestCompareSeparateAllocTolerance(t *testing.T) {
+	// Cross-machine CI diffs widen the timing tolerance but keep the
+	// machine-independent allocation tolerance tight.
+	old := []result{{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(100)}}
+	new := []result{{Name: "BenchmarkA", NsPerOp: 1.8e6, AllocsPerOp: f(120)}}
+	wide := Options{Tol: 1.0, AllocTol: 0.10, NsFloor: 100000, AllocSlack: 2}
+	deltas, _, _ := Compare(old, new, wide)
+	if deltas[0].NsRegressed {
+		t.Fatalf("ns flagged despite wide tolerance: %+v", deltas[0])
+	}
+	if !deltas[0].AllocsRegressed {
+		t.Fatalf("alloc regression missed under tight alloc tolerance: %+v", deltas[0])
+	}
+}

@@ -47,19 +47,28 @@ type Result struct {
 
 // Report is the emitted document.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	Bench       string   `json:"bench,omitempty"`
-	BenchTime   string   `json:"benchtime,omitempty"`
-	Results     []Result `json:"results"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	Bench       string `json:"bench,omitempty"`
+	BenchTime   string `json:"benchtime,omitempty"`
+	// Count is the -count repetition the snapshot was distilled from
+	// (omitted when 1): each benchmark records its best ns/op run, the
+	// standard way to cut scheduler and frequency noise out of snapshots
+	// that feed cmd/benchdiff.
+	Count   int      `json:"count,omitempty"`
+	Results []Result `json:"results"`
 }
 
 func main() {
 	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test")
+	count := flag.Int("count", 1, "go test -count repetitions; each benchmark keeps its best run")
 	in := flag.String("in", "", "parse this transcript (\"-\" for stdin) instead of running go test")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
+	if *count < 1 {
+		*count = 1
+	}
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -88,8 +97,12 @@ func main() {
 		rep.Results = results
 	default:
 		rep.Bench, rep.BenchTime = *bench, *benchtime
+		if *count > 1 {
+			rep.Count = *count
+		}
 		cmd := exec.Command("go", "test", "-run", "NONE",
-			"-bench", *bench, "-benchmem", "-benchtime", *benchtime, ".")
+			"-bench", *bench, "-benchmem", "-benchtime", *benchtime,
+			"-count", strconv.Itoa(*count), ".")
 		cmd.Dir = moduleRoot()
 		cmd.Stderr = os.Stderr
 		pipe, err := cmd.StdoutPipe()
@@ -175,7 +188,26 @@ func Parse(r io.Reader) ([]Result, error) {
 		}
 		out = append(out, res)
 	}
-	return out, sc.Err()
+	return mergeBest(out), sc.Err()
+}
+
+// mergeBest collapses repeated runs of one benchmark (-count > 1, or a
+// concatenated transcript) into the run with the lowest ns/op — noise only
+// ever adds time — keeping first-seen order.
+func mergeBest(rs []Result) []Result {
+	seen := make(map[string]int, len(rs))
+	out := rs[:0]
+	for _, r := range rs {
+		if i, ok := seen[r.Name]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		seen[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
 }
 
 // moduleRoot resolves the enclosing module's directory, so the benchmarks

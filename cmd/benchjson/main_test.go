@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTranscript(t *testing.T) {
+	const transcript = `goos: linux
+goarch: amd64
+pkg: gridbcast
+BenchmarkFoo/n=10-4     	       3	      3011 ns/op	    1082 B/op	      10 allocs/op
+BenchmarkBar            	       5	    125000 ns/op	         0.52 vs-unseg
+PASS
+`
+	rs, err := Parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results", len(rs))
+	}
+	foo := rs[0]
+	if foo.Name != "BenchmarkFoo/n=10" || foo.Iterations != 3 || foo.NsPerOp != 3011 {
+		t.Fatalf("foo = %+v", foo)
+	}
+	if foo.BytesPerOp == nil || *foo.BytesPerOp != 1082 || foo.AllocsPerOp == nil || *foo.AllocsPerOp != 10 {
+		t.Fatalf("foo mem = %+v", foo)
+	}
+	if rs[1].Metrics["vs-unseg"] != 0.52 {
+		t.Fatalf("bar metrics = %+v", rs[1].Metrics)
+	}
+}
+
+func TestParseMergesRepeatedRunsKeepingBest(t *testing.T) {
+	// -count > 1 repeats every benchmark; the snapshot keeps the fastest
+	// run of each (noise only adds time).
+	const transcript = `BenchmarkFoo-4     	      20	      3500 ns/op	      10 allocs/op
+BenchmarkBar-4     	      20	      9000 ns/op
+BenchmarkFoo-4     	      20	      3011 ns/op	      10 allocs/op
+BenchmarkFoo-4     	      20	      4100 ns/op	      10 allocs/op
+`
+	rs, err := Parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want merged 2", len(rs))
+	}
+	if rs[0].Name != "BenchmarkFoo" || rs[0].NsPerOp != 3011 {
+		t.Fatalf("best run not kept: %+v", rs[0])
+	}
+	if rs[1].Name != "BenchmarkBar" {
+		t.Fatalf("order not preserved: %+v", rs[1])
+	}
+}

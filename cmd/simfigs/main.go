@@ -1,10 +1,13 @@
-// Command simfigs regenerates the paper's evaluation: Figures 1–6 and
-// Table 3.
+// Command simfigs regenerates the paper's evaluation — Figures 1–6 and
+// Table 3 — plus the repository's segmented-broadcast extension: Figure 7
+// (segment-size sweep on the GRID5000 platform) and Figure 8 (the same
+// sweep on Table 2 random platforms with size-dependent gaps).
 //
 // Usage:
 //
 //	simfigs -fig 1 [-iters 10000] [-seed 42] [-out dir] [-plot]
 //	simfigs -fig all -iters 2000
+//	simfigs -fig 7
 //	simfigs -table 3 [-rho 0.3] [-jitter 0.01]
 //
 // Each figure is written as a gnuplot-style .dat file plus a CSV in -out
@@ -25,9 +28,10 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 1..6 or 'all'")
+		fig    = flag.String("fig", "", "figure to regenerate: 1..8 or 'all'")
 		table  = flag.Int("table", 0, "table to regenerate: 3")
-		iters  = flag.Int("iters", 10000, "Monte-Carlo iterations (figures 1-4)")
+		iters  = flag.Int("iters", 10000, "Monte-Carlo iterations (figures 1-4 and 8)")
+		segN   = flag.Int("segclusters", 10, "cluster count for the random segment sweep (figure 8)")
 		seed   = flag.Int64("seed", 42, "random seed")
 		outDir = flag.String("out", "results", "output directory for .dat/.csv files")
 		plot   = flag.Bool("plot", false, "also print ASCII plots")
@@ -66,14 +70,16 @@ func main() {
 		"4": func() (*experiment.Figure, error) { return mc.Fig4(), nil },
 		"5": func() (*experiment.Figure, error) { return experiment.Fig5(experiment.PracticalConfig{}) },
 		"6": func() (*experiment.Figure, error) { return experiment.Fig6(practical) },
+		"7": func() (*experiment.Figure, error) { return experiment.FigSegments(experiment.SegmentSweep{}) },
+		"8": func() (*experiment.Figure, error) { return mc.FigSegmentsRandom(*segN, nil, nil), nil },
 	}
 
 	var ids []string
 	if *fig == "all" {
-		ids = []string{"1", "2", "3", "4", "5", "6"}
+		ids = []string{"1", "2", "3", "4", "5", "6", "7", "8"}
 	} else {
 		if _, err := strconv.Atoi(*fig); err != nil || figs[*fig] == nil {
-			fatal(fmt.Errorf("unknown figure %q (want 1..6 or all)", *fig))
+			fatal(fmt.Errorf("unknown figure %q (want 1..8 or all)", *fig))
 		}
 		ids = []string{*fig}
 	}

@@ -52,6 +52,8 @@ type (
 	Heuristic = sched.Heuristic
 	// Problem is a costed scheduling instance.
 	Problem = sched.Problem
+	// SegmentedSchedule is a timed pipelined (multi-segment) schedule.
+	SegmentedSchedule = sched.SegmentedSchedule
 )
 
 // Grid5000 returns the paper's 88-machine, 6-cluster GRID5000 platform
@@ -123,6 +125,44 @@ func SimulateBinomial(g *Grid, root int, size int64, net ...NetConfig) (*Result,
 		opt.Net = net[0]
 	}
 	return mpi.ExecuteBinomialGridUnaware(g, root, size, opt)
+}
+
+// PredictSegmented schedules a pipelined broadcast that splits the message
+// into segSize-byte segments, using the segment-aware variant of the named
+// heuristic (see DESIGN.md §7). segSize >= size reproduces Predict exactly.
+func PredictSegmented(g *Grid, root int, size, segSize int64, heuristic string) (*SegmentedSchedule, error) {
+	h, ok := sched.ByName(heuristic)
+	if !ok {
+		return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", heuristic, HeuristicNames())
+	}
+	sp, err := sched.NewSegmentedProblem(g, root, size, segSize, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return sched.ScheduleSegmented(h, sp), nil
+}
+
+// PredictPipelined picks the best segment size for the broadcast from the
+// default candidate ladder (which always includes "unsegmented", so the
+// result is never worse than Predict). Large messages on multi-hop grids
+// profit the most: downstream forwarding overlaps upstream segments.
+func PredictPipelined(g *Grid, root int, size int64, heuristic string) (*SegmentedSchedule, error) {
+	h, ok := sched.ByName(heuristic)
+	if !ok {
+		return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", heuristic, HeuristicNames())
+	}
+	return sched.Pipelined{Base: h}.Best(g, root, size, sched.Options{})
+}
+
+// SimulateSegmented executes a segmented schedule segment-by-segment on the
+// discrete-event virtual grid. With no NetConfig the measured makespan
+// matches the analytic prediction.
+func SimulateSegmented(g *Grid, ss *SegmentedSchedule, net ...NetConfig) (*Result, error) {
+	opt := mpi.Options{IntraShape: intracluster.Binomial}
+	if len(net) > 0 {
+		opt.Net = net[0]
+	}
+	return mpi.ExecuteSegmentedSchedule(g, ss, opt)
 }
 
 // Best schedules with every paper heuristic and returns the schedule with

@@ -118,3 +118,44 @@ func TestRefineFacade(t *testing.T) {
 		t.Error("bad root accepted")
 	}
 }
+
+func TestSegmentedFacade(t *testing.T) {
+	g := Grid5000()
+	const m = 4 << 20
+	ss, err := PredictSegmented(g, 0, m, 256<<10, "Mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.K != 16 {
+		t.Fatalf("K = %d, want 16", ss.K)
+	}
+	res, err := SimulateSegmented(g, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-ss.Makespan) > 1e-8 {
+		t.Errorf("predicted %g != simulated %g", ss.Makespan, res.Makespan)
+	}
+	if _, err := PredictSegmented(g, 0, m, 1<<10, "nope"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestPipelinedFacadeBeatsUnsegmented(t *testing.T) {
+	g := Grid5000()
+	const m = 16 << 20
+	best, err := PredictPipelined(g, 0, m, "ECEF-LAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseg, err := Predict(g, 0, m, "ECEF-LAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan > unseg.Makespan {
+		t.Errorf("pipelined %g worse than unsegmented %g", best.Makespan, unseg.Makespan)
+	}
+	if best.K < 2 {
+		t.Errorf("large message should pick real segmentation, got K=%d", best.K)
+	}
+}

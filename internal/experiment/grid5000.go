@@ -63,6 +63,7 @@ func Fig5(cfg PracticalConfig) (*Figure, error) {
 	for hi, h := range hs {
 		fig.Series[hi].Name = h.Name()
 	}
+	ep := sched.NewEnginePool()
 	for _, m := range cfg.sizes() {
 		p, err := sched.NewProblem(g, cfg.Root, m, sched.Options{})
 		if err != nil {
@@ -71,7 +72,7 @@ func Fig5(cfg PracticalConfig) (*Figure, error) {
 		for hi, h := range hs {
 			fig.Series[hi].Points = append(fig.Series[hi].Points, Point{
 				X: float64(m),
-				Y: h.Schedule(p).Makespan,
+				Y: ep.Schedule(h, p).Makespan,
 			})
 		}
 	}
@@ -100,6 +101,7 @@ func Fig6(cfg PracticalConfig) (*Figure, error) {
 	}
 	fig.Series = append(fig.Series, lam)
 
+	ep := sched.NewEnginePool()
 	for _, h := range hs {
 		s := Series{Name: h.Name()}
 		for _, m := range cfg.sizes() {
@@ -107,7 +109,7 @@ func Fig6(cfg PracticalConfig) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := mpi.ExecuteSchedule(g, h.Schedule(p), m, mpi.Options{Net: cfg.Net})
+			res, err := mpi.ExecuteSchedule(g, ep.Schedule(h, p), m, mpi.Options{Net: cfg.Net})
 			if err != nil {
 				return nil, err
 			}

@@ -66,11 +66,14 @@ func (mc MonteCarlo) meanCompletion(hs []sched.Heuristic, n int) []stats.Accumul
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One engine pool per worker: pools are not concurrency-safe
+			// but make repeated schedule construction allocation-free.
+			ep := sched.NewEnginePool()
 			acc := perWorker[w]
 			for it := w; it < iters; it += nw {
 				p := mc.instance(n, it)
 				for hi, h := range hs {
-					acc[hi].Add(h.Schedule(p).Makespan)
+					acc[hi].Add(ep.Schedule(h, p).Makespan)
 				}
 			}
 		}(w)
@@ -189,13 +192,14 @@ func (mc MonteCarlo) hitCounts(hs []sched.Heuristic, n int) []int64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ep := sched.NewEnginePool()
 			counts := perWorker[w]
 			spans := make([]float64, len(hs))
 			for it := w; it < iters; it += nw {
 				p := mc.instance(n, it)
 				best := 0.0
 				for hi, h := range hs {
-					spans[hi] = h.Schedule(p).Makespan
+					spans[hi] = ep.Schedule(h, p).Makespan
 					if hi == 0 || spans[hi] < best {
 						best = spans[hi]
 					}

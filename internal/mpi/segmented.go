@@ -1,0 +1,157 @@
+package mpi
+
+// Segmented (pipelined) schedule execution: the wide-area broadcast moves K
+// segments instead of one message, and every coordinator forwards each
+// segment as soon as it holds it, so downstream transmissions overlap
+// upstream ones. This is the message-level counterpart of the analytic model
+// in internal/sched/segmented.go: with an ideal network the measured
+// makespan reproduces the analytic one (up to event-scheduling rounding),
+// which the integration tests pin. Local broadcasts below the coordinators
+// stay whole-message, matching the analytic T_i.
+
+import (
+	"fmt"
+
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/sim"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
+)
+
+// ExecuteSegmentedSchedule runs the pipelined inter-cluster schedule ss
+// (plus per-cluster local broadcasts of the reassembled message) on grid g.
+// The schedule must be valid for the grid, message size and segmentation.
+func ExecuteSegmentedSchedule(g *topology.Grid, ss *sched.SegmentedSchedule, opt Options) (*Result, error) {
+	sp, err := sched.NewSegmentedProblem(g, ss.Root, ss.MsgSize, ss.SegSize, sched.Options{IntraShape: opt.IntraShape})
+	if err != nil {
+		return nil, err
+	}
+	if err := ss.Validate(sp); err != nil {
+		return nil, fmt.Errorf("mpi: refusing invalid segmented schedule: %w", err)
+	}
+
+	n := g.N()
+	offsets := make([]int, n)
+	clusterOf := make([]int, 0, g.TotalNodes())
+	for c := 0; c < n; c++ {
+		offsets[c] = len(clusterOf)
+		for r := 0; r < g.Clusters[c].Nodes; r++ {
+			clusterOf = append(clusterOf, c)
+		}
+	}
+	link := func(from, to int) plogp.Params {
+		cf, ct := clusterOf[from], clusterOf[to]
+		if cf == ct {
+			return g.Clusters[cf].Intra
+		}
+		return g.Inter[cf][ct]
+	}
+	env := sim.New()
+	nw := vnet.New(env, len(clusterOf), link, opt.Net)
+
+	// Destination lists per sender, in schedule round order: each
+	// coordinator streams all K segments to its first destination, then all
+	// K to the next — the order the analytic evaluator times.
+	sends := make([][]int, n)
+	for _, ev := range ss.Events {
+		sends[ev.From] = append(sends[ev.From], ev.To)
+	}
+
+	res := &Result{
+		ClusterCompletion:  make([]float64, n),
+		CoordinatorArrival: make([]float64, n),
+	}
+	for c := 0; c < n; c++ {
+		startSegmentedCluster(env, nw, g, sp, c, c == ss.Root, offsets[c], sends[c], offsets, opt, res)
+	}
+	env.Run()
+	if env.Live() != 0 {
+		env.Shutdown()
+		return nil, fmt.Errorf("mpi: %d processes never completed (lost segment?)", env.Live())
+	}
+	for _, comp := range res.ClusterCompletion {
+		if comp > res.Makespan {
+			res.Makespan = comp
+		}
+	}
+	res.Messages, res.Bytes = nw.Messages, nw.Bytes
+	return res, nil
+}
+
+// segSize returns the payload of segment q.
+func segSize(sp *sched.SegmentedProblem, q int) int64 {
+	if q == sp.K-1 {
+		return sp.LastSize
+	}
+	return sp.SegSize
+}
+
+// startSegmentedCluster spawns the coordinator (segment streaming) and local
+// node processes of one cluster.
+func startSegmentedCluster(env *sim.Env, nw *vnet.Network, g *topology.Grid, sp *sched.SegmentedProblem,
+	c int, isRoot bool, coord int, destinations []int, offsets []int, opt Options, res *Result) {
+
+	cl := g.Clusters[c]
+	var tree *intracluster.Tree
+	if cl.BcastTime == 0 && cl.Nodes > 1 {
+		tree = intracluster.New(opt.IntraShape, cl.Nodes)
+	}
+
+	env.Process(fmt.Sprintf("coord-%s", cl.Name), func(p *sim.Proc) {
+		held := 0 // segments received so far (parent streams them in order)
+		if isRoot {
+			held = sp.K
+		}
+		// recvThrough blocks until the coordinator holds segment q. The
+		// parent sends segments in index order over one FIFO link, so
+		// arrival order is segment order; arrival timestamps are recorded
+		// at delivery, even when the process is busy forwarding.
+		recvThrough := func(q int) {
+			for held <= q {
+				msg := nw.RecvMatch(p, coord, func(m *vnet.Message) bool { return m.Tag == TagInter })
+				if msg.Seg != held {
+					panic(fmt.Sprintf("mpi: cluster %s received segment %d, want %d", cl.Name, msg.Seg, held))
+				}
+				held++
+				res.CoordinatorArrival[c] = msg.ArrivedAt
+			}
+		}
+		for _, dst := range destinations {
+			for q := 0; q < sp.K; q++ {
+				recvThrough(q)
+				nw.SendSeg(p, coord, offsets[dst], segSize(sp, q), q, TagInter, nil)
+			}
+		}
+		recvThrough(sp.K - 1) // drain the stream on leaf coordinators
+		// Local broadcast of the reassembled message: the modelled fixed
+		// time or a real whole-message tree, as in ExecuteSchedule.
+		switch {
+		case cl.BcastTime > 0:
+			p.Wait(cl.BcastTime)
+			res.ClusterCompletion[c] = p.Now()
+		case cl.Nodes == 1:
+			res.ClusterCompletion[c] = p.Now()
+		default:
+			for _, child := range tree.Children[0] {
+				nw.Send(p, coord, coord+child, sp.MsgSize, TagIntra, nil)
+			}
+		}
+	})
+
+	if tree == nil {
+		return
+	}
+	for r := 1; r < cl.Nodes; r++ {
+		env.Process(fmt.Sprintf("%s-%d", cl.Name, r), func(p *sim.Proc) {
+			msg := nw.RecvMatch(p, coord+r, func(msg *vnet.Message) bool { return msg.Tag == TagIntra })
+			for _, child := range tree.Children[r] {
+				nw.Send(p, coord+r, coord+child, sp.MsgSize, TagIntra, nil)
+			}
+			if msg.ArrivedAt > res.ClusterCompletion[c] {
+				res.ClusterCompletion[c] = msg.ArrivedAt
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"gridbcast/internal/sched"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
+)
+
+// segTol absorbs the event-scheduling rounding of pipelined streams: unlike
+// single-message trees, consecutive segment deliveries exercise the
+// receiver-spacing rule, whose float arithmetic associates differently from
+// the analytic evaluator by a few ulps per segment.
+const segTol = 1e-8
+
+// TestSegmentedExecutionMatchesPredictionGrid5000 cross-validates the
+// pipelined executor against the analytic per-segment model on the paper's
+// platform, across heuristics and segment sizes.
+func TestSegmentedExecutionMatchesPredictionGrid5000(t *testing.T) {
+	g := topology.Grid5000()
+	for _, m := range []int64{1 << 20, 4 << 20} {
+		for _, segSize := range []int64{m, 256 << 10, 64 << 10} {
+			sp := sched.MustSegmentedProblem(g, 0, m, segSize, sched.Options{})
+			for _, h := range []sched.Heuristic{sched.Mixed{}, sched.ECEFLAT(), sched.FlatTree{}} {
+				ss := sched.ScheduleSegmented(h, sp)
+				res, err := ExecuteSegmentedSchedule(g, ss, Options{})
+				if err != nil {
+					t.Fatalf("%s m=%d seg=%d: %v", h.Name(), m, segSize, err)
+				}
+				if math.Abs(res.Makespan-ss.Makespan) > segTol {
+					t.Errorf("%s m=%d seg=%d: measured %g != predicted %g",
+						h.Name(), m, segSize, res.Makespan, ss.Makespan)
+				}
+				for c := 0; c < g.N(); c++ {
+					if c == ss.Root {
+						continue
+					}
+					if math.Abs(res.CoordinatorArrival[c]-ss.RT[c]) > segTol {
+						t.Errorf("%s m=%d seg=%d cluster %d: arrival %g != RT %g",
+							h.Name(), m, segSize, c, res.CoordinatorArrival[c], ss.RT[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentedExecutionMatchesPredictionRandom repeats the cross-validation
+// on random platforms (single-node clusters with modelled local broadcast
+// times) and checks the wire-level segment count.
+func TestSegmentedExecutionMatchesPredictionRandom(t *testing.T) {
+	r := stats.NewRand(17)
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + r.Intn(10)
+		g := topology.RandomSizedGrid(r, n)
+		root := r.Intn(n)
+		m := int64(1 << 20)
+		segSize := int64(1 << (16 + trial%4))
+		sp := sched.MustSegmentedProblem(g, root, m, segSize, sched.Options{})
+		ss := sched.ScheduleSegmented(sched.ECEFLA(), sp)
+		res, err := ExecuteSegmentedSchedule(g, ss, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(res.Makespan-ss.Makespan) > segTol {
+			t.Errorf("trial %d: measured %g != predicted %g", trial, res.Makespan, ss.Makespan)
+		}
+		if want := int64(n-1) * int64(sp.K); res.Messages != want {
+			t.Errorf("trial %d: %d messages on the wire, want %d", trial, res.Messages, want)
+		}
+		if res.Bytes != int64(n-1)*m {
+			t.Errorf("trial %d: %d bytes on the wire, want %d", trial, res.Bytes, int64(n-1)*m)
+		}
+	}
+}
+
+// TestSegmentedOneSegmentMatchesUnsegmentedExecution pins the degenerate
+// case: executing a one-segment pipelined schedule measures exactly what the
+// unsegmented executor measures for the same tree.
+func TestSegmentedOneSegmentMatchesUnsegmentedExecution(t *testing.T) {
+	g := topology.Grid5000()
+	m := int64(1 << 20)
+	p := sched.MustProblem(g, 0, m, sched.Options{})
+	sp := sched.MustSegmentedProblem(g, 0, m, m, sched.Options{})
+	for _, h := range sched.Paper() {
+		ss := sched.ScheduleSegmented(h, sp)
+		segRes, err := ExecuteSegmentedSchedule(g, ss, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		res, err := ExecuteSchedule(g, h.Schedule(p), m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if segRes.Makespan != res.Makespan {
+			t.Errorf("%s: one-segment execution %g != unsegmented %g", h.Name(), segRes.Makespan, res.Makespan)
+		}
+		if segRes.Messages != res.Messages || segRes.Bytes != res.Bytes {
+			t.Errorf("%s: traffic diverges (%d/%d msgs, %d/%d bytes)",
+				h.Name(), segRes.Messages, res.Messages, segRes.Bytes, res.Bytes)
+		}
+	}
+}
+
+// TestSimulatedSegmentedOverheadBound is the simulated half of the
+// per-segment overhead property: executing the *same tree* segmented never
+// costs more than the unsegmented makespan plus the model's per-segment
+// overhead bound, (N-1) times the worst per-edge gap inflation
+// (K-1)·g(s) + g(last) − g(m).
+func TestSimulatedSegmentedOverheadBound(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		r := stats.NewRand(stats.SplitSeed(55, int64(trial)))
+		n := 3 + r.Intn(12)
+		var g *topology.Grid
+		if trial%2 == 0 {
+			g = topology.RandomSizedGrid(r, n)
+		} else {
+			g = topology.RandomGrid(r, n)
+		}
+		m := int64(1 << 20)
+		segSize := m / int64(2+r.Intn(30))
+		p := sched.MustProblem(g, 0, m, sched.Options{})
+		sp := sched.MustSegmentedProblem(g, 0, m, segSize, sched.Options{})
+		for _, h := range []sched.Heuristic{sched.ECEFLAT(), sched.BottomUp{}, sched.FlatTree{}} {
+			sc := h.Schedule(p)
+			pairs := make([][2]int, len(sc.Events))
+			bound := 0.0
+			for k, e := range sc.Events {
+				pairs[k] = [2]int{e.From, e.To}
+				d := float64(sp.K-1)*sp.Gs[e.From][e.To] + sp.Gl[e.From][e.To] - sp.G[e.From][e.To]
+				if d > bound {
+					bound = d
+				}
+			}
+			bound *= float64(n - 1)
+			ss := sched.EvaluateSegmented(sp, pairs)
+			res, err := ExecuteSegmentedSchedule(g, ss, Options{})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, h.Name(), err)
+			}
+			if res.Makespan > sc.Makespan+bound+segTol {
+				t.Errorf("trial %d %s seg=%d: simulated segmented %g exceeds unsegmented %g + bound %g",
+					trial, h.Name(), segSize, res.Makespan, sc.Makespan, bound)
+			}
+		}
+	}
+}
+
+// TestSegmentedExecutorRejectsInvalid covers the validation path: foreign
+// grids and tampered schedules must be refused.
+func TestSegmentedExecutorRejectsInvalid(t *testing.T) {
+	g := topology.Grid5000()
+	sp := sched.MustSegmentedProblem(g, 0, 1<<20, 128<<10, sched.Options{})
+	ss := sched.ScheduleSegmented(sched.Mixed{}, sp)
+
+	other := topology.RandomGrid(stats.NewRand(2), 6)
+	if _, err := ExecuteSegmentedSchedule(other, ss, Options{}); err == nil {
+		t.Error("schedule for another grid accepted")
+	}
+	bad := *ss
+	bad.Makespan *= 0.5
+	if _, err := ExecuteSegmentedSchedule(g, &bad, Options{}); err == nil {
+		t.Error("tampered schedule accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package sched
+
+import "math"
+
+// EnginePool amortises the incremental engine's setup cost across repeated
+// schedule constructions (ROADMAP: "platforms scheduled repeatedly — root
+// rotation, message-size sweeps — could reuse the lookahead heaps via a
+// per-problem engine pool"). Two mechanisms:
+//
+//   - Buffer reuse: the candidate caches, sender heaps and lookahead
+//     backing arrays are allocated once per pool (per cluster count) and
+//     reset in O(N) per schedule, so steady-state scheduling stops
+//     allocating.
+//   - Lookahead templates: the per-receiver lookahead heaps depend only on
+//     W (and T for the -LAt/-LAT variants) — not on the root, because the
+//     engine already discards members lazily once they join A. The pool
+//     therefore builds each heap over *all* other clusters, caches the
+//     heapified backing per (W identity, lookahead kind), and later
+//     schedules — any root, same platform and size — start from a single
+//     memcpy instead of an O(N²) rebuild + heapify. The root's entries are
+//     filtered out on first access exactly like any cluster that joined A,
+//     so the produced schedules stay bit-identical to the unpooled engine
+//     (pinned by the equivalence tests).
+//
+// A pool is NOT safe for concurrent use: sweeps that parallelise across
+// goroutines use one pool per worker (see internal/experiment).
+type EnginePool struct {
+	n int // current buffer dimension (0 = nothing allocated)
+
+	// Shared receiver cache for the ECEF-family and BottomUp engines.
+	rc recvCache
+
+	// Engine shells, reused so Schedule allocates nothing in steady state.
+	ecefShell ecefEngine
+	buShell   buEngine
+	fefShell  fefEngine
+
+	// FEF per-receiver caches.
+	fefCW    []float64
+	fefCSnd  []int32
+	fefFresh []int32
+
+	// Lookahead working set (copied from a template per schedule).
+	laBacking []laEntry
+	laHeaps   []laHeap
+	fVal      []float64
+	fTop      []int32
+	inA       []bool // scratch membership vector ({root} at engine init)
+
+	templates map[laTemplateKey]*laTemplate
+}
+
+// laTemplateKey identifies a cached lookahead template: the full-message W
+// matrix (by identity — the matrix is immutable and shared via the grid's
+// EdgeCosts cache, and holding the pointer pins it, so the key cannot be
+// recycled for different values) and the lookahead kind.
+type laTemplateKey struct {
+	w    *float64
+	kind laKind
+}
+
+// laTemplate is a root-independent snapshot of the heapified lookahead
+// heaps: backing[off[j]:off[j+1]] is receiver j's heap over every k != j.
+type laTemplate struct {
+	n       int
+	t       []float64 // T used to key the entries (nil for the -LA kind)
+	backing []laEntry
+	off     []int
+}
+
+// NewEnginePool returns an empty pool.
+func NewEnginePool() *EnginePool {
+	return &EnginePool{templates: map[laTemplateKey]*laTemplate{}}
+}
+
+// Schedule builds p's schedule with h through the pool's recycled engines.
+// The result is identical to h.Schedule(p) in every field.
+func (ep *EnginePool) Schedule(h Heuristic, p *Problem) *Schedule {
+	if referencePick {
+		return h.Schedule(p)
+	}
+	switch hh := h.(type) {
+	case FlatTree:
+		return run(&flatEngine{d: 1}, p)
+	case FEF:
+		ep.ensure(p.N)
+		return run(ep.fefFor(hh, p), p)
+	case ecef:
+		ep.ensure(p.N)
+		return run(ep.ecefFor(hh, p), p)
+	case BottomUp:
+		ep.ensure(p.N)
+		return run(ep.buFor(p), p)
+	case Mixed:
+		sc := ep.Schedule(hh.inner(p), p)
+		sc.Heuristic = hh.Name()
+		return sc
+	}
+	return h.Schedule(p)
+}
+
+// ensure sizes the pooled buffers for n clusters.
+func (ep *EnginePool) ensure(n int) {
+	if ep.n == n {
+		return
+	}
+	ep.n = n
+	ep.rc = recvCache{
+		heaps:      make([]senderHeap, n),
+		integrated: make([]int32, n),
+		joined:     make([]int32, 0, n),
+		cKey:       make([]float64, n),
+		cSnd:       make([]int32, n),
+		nq:         make([]int32, n),
+	}
+	ep.fefCW = make([]float64, n)
+	ep.fefCSnd = make([]int32, n)
+	ep.fefFresh = make([]int32, 0, n)
+	ep.laBacking = make([]laEntry, n*n)
+	ep.laHeaps = make([]laHeap, n)
+	ep.fVal = make([]float64, n)
+	ep.fTop = make([]int32, n)
+	ep.inA = make([]bool, n)
+}
+
+// resetRecvCache restores the shared receiver cache to its initial state
+// for p, keeping every allocation (including lazily grown sender heaps).
+func (ep *EnginePool) resetRecvCache(p *Problem) {
+	rc := &ep.rc
+	rc.wt = p.transposedW()
+	for j := 0; j < p.N; j++ {
+		rc.heaps[j].es = rc.heaps[j].es[:0]
+		rc.integrated[j] = 0
+		rc.nq[j] = 0
+		rc.cKey[j] = math.Inf(1)
+		rc.cSnd[j] = -1
+	}
+	rc.joined = append(rc.joined[:0], int32(p.Root))
+	rc.csync = 0
+	rc.lastI = -1
+}
+
+// fefFor readies the pooled FEF engine.
+func (ep *EnginePool) fefFor(h FEF, p *Problem) *fefEngine {
+	e := &ep.fefShell
+	*e = fefEngine{h: h, cW: ep.fefCW, cSnd: ep.fefCSnd}
+	for j := 0; j < p.N; j++ {
+		e.cW[j] = math.Inf(1)
+		e.cSnd[j] = -1
+	}
+	e.fresh = append(ep.fefFresh[:0], int32(p.Root))
+	return e
+}
+
+// buFor readies the pooled BottomUp engine.
+func (ep *EnginePool) buFor(p *Problem) *buEngine {
+	ep.resetRecvCache(p)
+	e := &ep.buShell
+	*e = buEngine{rc: ep.rc}
+	return e
+}
+
+// ecefFor readies the pooled engine for an ECEF-family heuristic, copying
+// the lookahead heaps from the platform's template.
+func (ep *EnginePool) ecefFor(h ecef, p *Problem) *ecefEngine {
+	ep.resetRecvCache(p)
+	e := &ep.ecefShell
+	*e = ecefEngine{h: h, rc: ep.rc}
+	if h.kind == laNone {
+		return e
+	}
+	tpl := ep.template(h, p)
+	copy(ep.laBacking, tpl.backing)
+	for j := 0; j < p.N; j++ {
+		lo, hi := tpl.off[j], tpl.off[j+1]
+		ep.laHeaps[j].es = ep.laBacking[lo:hi:hi]
+	}
+	e.neg = h.kind == laMaxWT
+	e.la = ep.laHeaps
+	e.fVal, e.fTop = ep.fVal, ep.fTop
+	// Initial extrema: A = {root}, so the template's root entries are
+	// discarded here exactly as the engine discards any member that joined
+	// A; heaps hold the same candidate sets as an unpooled build.
+	ep.inA[p.Root] = true
+	for j := 0; j < p.N; j++ {
+		if j == p.Root {
+			continue
+		}
+		e.cache(j, e.la[j].top(ep.inA))
+	}
+	ep.inA[p.Root] = false
+	return e
+}
+
+// maxTemplates bounds the template cache. Sweeps over one platform use a
+// handful of keys; Monte-Carlo streams of throwaway platforms would grow the
+// cache (and pin every W matrix) without this cap, so on overflow the cache
+// is simply dropped — correctness never depends on a hit.
+const maxTemplates = 32
+
+// template returns (building and caching on demand) the root-independent
+// lookahead template for h's kind on p's platform.
+func (ep *EnginePool) template(h ecef, p *Problem) *laTemplate {
+	key := laTemplateKey{w: &p.W[0][0], kind: h.kind}
+	if tpl := ep.templates[key]; tpl != nil && tpl.n == p.N &&
+		(h.kind == laMinW || floatsEqual(tpl.t, p.T)) {
+		return tpl
+	}
+	if len(ep.templates) >= maxTemplates {
+		ep.templates = map[laTemplateKey]*laTemplate{}
+	}
+	n := p.N
+	tpl := &laTemplate{n: n, off: make([]int, n+1), backing: make([]laEntry, 0, n*(n-1))}
+	if h.kind != laMinW {
+		tpl.t = append([]float64(nil), p.T...)
+	}
+	neg := h.kind == laMaxWT
+	for j := 0; j < n; j++ {
+		tpl.off[j] = len(tpl.backing)
+		for k := 0; k < n; k++ {
+			if k == j {
+				continue
+			}
+			w := p.W[j][k]
+			if h.kind != laMinW {
+				w += p.T[k]
+			}
+			if neg {
+				w = -w
+			}
+			tpl.backing = append(tpl.backing, laEntry{w: w, k: int32(k)})
+		}
+		hp := laHeap{es: tpl.backing[tpl.off[j]:len(tpl.backing)]}
+		hp.heapify()
+	}
+	tpl.off[n] = len(tpl.backing)
+	ep.templates[key] = tpl
+	return tpl
+}
+
+// floatsEqual reports exact element-wise equality.
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,526 @@
+package sched
+
+// Segmented (pipelined) broadcast: the large-message workload the paper's
+// single-message rounds cannot express, built on the same pLogP machinery.
+//
+// A broadcast of m bytes is split into K segments of SegSize bytes (the last
+// segment carries the remainder). A transmission i→j still follows Bhat's
+// formalism — i is a holder, j is not — but now moves K back-to-back
+// messages: segment q occupies the sender for g_{i,j}(s_q) and arrives
+// L_{i,j} later. The pipelining win is at the forwarding level: j may
+// forward segment q as soon as it holds it, long before its last segment
+// arrives, so deep trees stream segments concurrently on every level while
+// each extra segment costs only the fixed part of the gap (g(s) per segment
+// after the first, instead of one monolithic g(m)).
+//
+// Three layers mirror the unsegmented engine:
+//
+//   - SegmentedProblem extends Problem with the per-segment gap matrices,
+//     served by the grid's per-message-size EdgeCosts cache (one entry for
+//     SegSize, one for the remainder segment).
+//   - EvaluateSegmented is the exact evaluator: it replays an explicit
+//     (sender, receiver) sequence segment by segment, tracking when every
+//     cluster holds every segment. With K = 1 it reproduces the unsegmented
+//     engine bit for bit (same expressions, same operation order), which the
+//     golden tests pin.
+//   - ScheduleSegmented runs a segment-aware greedy variant of each paper
+//     heuristic: the candidate cost replaces avail[i] + W[i][j] with
+//     max(busy_i + (K-1)·g_s, lastseg_i) + W_last[i][j] — the estimated
+//     arrival of the *last* segment at j — and the chosen pair is then timed
+//     exactly. At K = 1 the cost expression degenerates to the unsegmented
+//     one (0·g_s vanishes, W_last aliases W), so every greedy matches its
+//     unsegmented self exactly.
+//
+// The closed-form pick cost assumes the sender's segments are available no
+// later than max(busy_i + (q-1)·g_s, lastseg_i) for every q; irregular
+// upstream arrivals can push individual segments later, so the estimate is a
+// lower bound used for candidate ranking only — committed rounds are always
+// timed by the exact per-segment recurrence.
+
+import (
+	"fmt"
+	"math"
+
+	"gridbcast/internal/topology"
+)
+
+// SegmentedProblem is a Problem plus the per-segment cost matrices.
+type SegmentedProblem struct {
+	*Problem
+	// SegSize is the segment payload in bytes; LastSize the final segment's
+	// (in (0, SegSize], the remainder of MsgSize).
+	SegSize, LastSize int64
+	// K is the number of segments (>= 1).
+	K int
+	// Gs[i][j] = g_{i,j}(SegSize); Gl and Wl are the gap and gap+latency at
+	// LastSize. With K == 1, Gl and Wl alias the Problem's full-message G
+	// and W, so costs are bit-identical to the unsegmented model. Like the
+	// Problem matrices they alias the grid's cache and are read-only.
+	Gs, Gl, Wl [][]float64
+}
+
+// NewSegmentedProblem costs a grid for a pipelined broadcast of m bytes in
+// segments of segSize bytes rooted at cluster root. segSize >= m (or K == 1)
+// reproduces the unsegmented problem exactly. The per-cluster local
+// broadcast time T_i still covers the full message: local trees below the
+// coordinators are not segmented (see DESIGN.md §7).
+func NewSegmentedProblem(g *topology.Grid, root int, m, segSize int64, opt Options) (*SegmentedProblem, error) {
+	p, err := NewProblem(g, root, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	if segSize <= 0 {
+		return nil, fmt.Errorf("sched: segment size %d must be positive", segSize)
+	}
+	if segSize > m && m > 0 {
+		segSize = m
+	}
+	k := 1
+	last := m
+	if m > segSize {
+		k = int((m + segSize - 1) / segSize)
+		last = m - int64(k-1)*segSize
+	}
+	sp := &SegmentedProblem{
+		Problem:  p,
+		SegSize:  segSize,
+		LastSize: last,
+		K:        k,
+	}
+	if k == 1 {
+		// Single segment: the "last" (only) segment is the whole message.
+		sp.Gs, sp.Gl, sp.Wl = p.G, p.G, p.W
+		return sp, nil
+	}
+	ecs := g.EdgeCosts(segSize)
+	sp.Gs = ecs.G
+	if last == segSize {
+		sp.Gl, sp.Wl = ecs.G, ecs.W
+	} else {
+		ecl := g.EdgeCosts(last)
+		sp.Gl, sp.Wl = ecl.G, ecl.W
+	}
+	return sp, nil
+}
+
+// MustSegmentedProblem is NewSegmentedProblem that panics on error.
+func MustSegmentedProblem(g *topology.Grid, root int, m, segSize int64, opt Options) *SegmentedProblem {
+	sp, err := NewSegmentedProblem(g, root, m, segSize, opt)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// SegmentedSchedule is a complete pipelined broadcast schedule with exact
+// per-segment timing.
+type SegmentedSchedule struct {
+	// Heuristic names the policy that produced the schedule.
+	Heuristic string
+	// Root is the source cluster; MsgSize, SegSize and K echo the problem.
+	Root    int
+	MsgSize int64
+	SegSize int64
+	K       int
+	// Events lists the N-1 transmissions in schedule order. Start is when
+	// the first segment leaves, SenderFree when the sender finishes its
+	// last segment, Arrive when the last segment reaches the receiver.
+	Events []Event
+	// FirstRT[i] is when cluster i holds its first segment (0 for the
+	// root); RT[i] when it holds the last one, i.e. the whole message.
+	FirstRT, RT []float64
+	// Idle[i] is when cluster i stops wide-area sending and can start its
+	// local broadcast; Completion[i] adds T_i per the problem's completion
+	// model. Makespan is max(Completion).
+	Idle, Completion []float64
+	Makespan         float64
+}
+
+// segState is the mutable per-segment scheduling state.
+type segState struct {
+	inA   []bool
+	sent  []bool
+	busy  []float64   // sender NIC availability
+	segAt [][]float64 // segAt[i][q]: when cluster i holds segment q
+	sizeA int
+}
+
+func newSegState(sp *SegmentedProblem) *segState {
+	st := &segState{
+		inA:   make([]bool, sp.N),
+		sent:  make([]bool, sp.N),
+		busy:  make([]float64, sp.N),
+		segAt: make([][]float64, sp.N),
+		sizeA: 1,
+	}
+	backing := make([]float64, sp.N*sp.K)
+	for i := range st.segAt {
+		st.segAt[i] = backing[i*sp.K : (i+1)*sp.K : (i+1)*sp.K]
+	}
+	st.inA[sp.Root] = true
+	return st
+}
+
+// transmit moves all K segments from i to j, advancing the exact state, and
+// returns the first-segment start, the sender-free time and the
+// last-segment arrival.
+func (st *segState) transmit(sp *SegmentedProblem, i, j int) (start1, free, lastArrive float64) {
+	gs, gl, lat := sp.Gs[i][j], sp.Gl[i][j], sp.L[i][j]
+	src, dst := st.segAt[i], st.segAt[j]
+	for q := 0; q < sp.K; q++ {
+		g := gs
+		if q == sp.K-1 {
+			g = gl
+		}
+		s := st.busy[i]
+		if a := src[q]; a > s {
+			s = a
+		}
+		if q == 0 {
+			start1 = s
+		}
+		st.busy[i] = s + g
+		dst[q] = st.busy[i] + lat
+	}
+	st.sent[i] = true
+	return start1, st.busy[i], dst[sp.K-1]
+}
+
+// segPolicy picks the next (sender, receiver) pair under segmented costs.
+type segPolicy interface {
+	segName() string
+	pickSeg(sp *SegmentedProblem, st *segState) (from, to int)
+}
+
+// runSegmented executes the round-based engine with per-segment timing.
+func runSegmented(pol segPolicy, sp *SegmentedProblem) *SegmentedSchedule {
+	st := newSegState(sp)
+	ss := &SegmentedSchedule{
+		Heuristic:  pol.segName(),
+		Root:       sp.Root,
+		MsgSize:    sp.MsgSize,
+		SegSize:    sp.SegSize,
+		K:          sp.K,
+		Events:     make([]Event, 0, sp.N-1),
+		FirstRT:    make([]float64, sp.N),
+		RT:         make([]float64, sp.N),
+		Idle:       make([]float64, sp.N),
+		Completion: make([]float64, sp.N),
+	}
+	for round := 0; st.sizeA < sp.N; round++ {
+		i, j := pol.pickSeg(sp, st)
+		if i < 0 || j < 0 || i >= sp.N || j >= sp.N || !st.inA[i] || st.inA[j] {
+			panic(fmt.Sprintf("sched: segmented %s picked invalid pair (%d,%d) at round %d", pol.segName(), i, j, round))
+		}
+		start, free, arrive := st.transmit(sp, i, j)
+		st.inA[j] = true
+		st.sizeA++
+		ss.Events = append(ss.Events, Event{
+			Round: round, From: i, To: j,
+			Start: start, SenderFree: free, Arrive: arrive,
+		})
+	}
+	for i := 0; i < sp.N; i++ {
+		ss.FirstRT[i] = st.segAt[i][0]
+		ss.RT[i] = st.segAt[i][sp.K-1]
+		if st.sent[i] {
+			ss.Idle[i] = st.busy[i]
+		} else {
+			ss.Idle[i] = ss.RT[i]
+		}
+		start := ss.Idle[i]
+		if sp.Overlap {
+			start = ss.RT[i]
+		}
+		ss.Completion[i] = start + sp.T[i]
+		if ss.Completion[i] > ss.Makespan {
+			ss.Makespan = ss.Completion[i]
+		}
+	}
+	return ss
+}
+
+// segScripted replays a fixed pair sequence (the segmented Replay).
+type segScripted struct {
+	pairs [][2]int
+	next  int
+}
+
+func (s *segScripted) segName() string { return "scripted" }
+
+func (s *segScripted) pickSeg(_ *SegmentedProblem, _ *segState) (int, int) {
+	pr := s.pairs[s.next]
+	s.next++
+	return pr[0], pr[1]
+}
+
+// EvaluateSegmented times an explicit (sender, receiver) sequence under the
+// per-segment model — the segmented counterpart of Replay. It panics if the
+// sequence is not a valid broadcast order for the problem.
+func EvaluateSegmented(sp *SegmentedProblem, pairs [][2]int) *SegmentedSchedule {
+	if len(pairs) != sp.N-1 {
+		panic(fmt.Sprintf("sched: segmented replay needs %d pairs, got %d", sp.N-1, len(pairs)))
+	}
+	return runSegmented(&segScripted{pairs: pairs}, sp)
+}
+
+// Pairs returns the (sender, receiver) sequence of the schedule.
+func (ss *SegmentedSchedule) Pairs() [][2]int {
+	ps := make([][2]int, len(ss.Events))
+	for i, e := range ss.Events {
+		ps[i] = [2]int{e.From, e.To}
+	}
+	return ps
+}
+
+// Validate checks the schedule against its problem: matching segmentation,
+// a valid broadcast order, and timing that the exact evaluator reproduces.
+func (ss *SegmentedSchedule) Validate(sp *SegmentedProblem) error {
+	if ss.MsgSize != sp.MsgSize || ss.SegSize != sp.SegSize || ss.K != sp.K {
+		return fmt.Errorf("sched: schedule segmentation (%d bytes / %d per segment / K=%d) does not match problem (%d / %d / K=%d)",
+			ss.MsgSize, ss.SegSize, ss.K, sp.MsgSize, sp.SegSize, sp.K)
+	}
+	if ss.Root != sp.Root {
+		return fmt.Errorf("sched: schedule root %d != problem root %d", ss.Root, sp.Root)
+	}
+	if len(ss.Events) != sp.N-1 {
+		return fmt.Errorf("sched: %d events for %d clusters", len(ss.Events), sp.N)
+	}
+	pairs := ss.Pairs()
+	for _, pr := range pairs {
+		if pr[0] < 0 || pr[0] >= sp.N || pr[1] < 0 || pr[1] >= sp.N {
+			return fmt.Errorf("sched: pair (%d,%d) out of range", pr[0], pr[1])
+		}
+	}
+	if !validOrder(sp.Problem, pairs) {
+		return fmt.Errorf("sched: pair sequence is not a valid broadcast order")
+	}
+	want := EvaluateSegmented(sp, pairs)
+	const tol = 1e-9
+	for k, e := range ss.Events {
+		w := want.Events[k]
+		if math.Abs(e.Start-w.Start) > tol || math.Abs(e.SenderFree-w.SenderFree) > tol || math.Abs(e.Arrive-w.Arrive) > tol {
+			return fmt.Errorf("sched: event %d timing inconsistent with the segmented model", k)
+		}
+	}
+	for i := 0; i < sp.N; i++ {
+		if math.Abs(ss.RT[i]-want.RT[i]) > tol || math.Abs(ss.Completion[i]-want.Completion[i]) > tol {
+			return fmt.Errorf("sched: cluster %d timing inconsistent with the segmented model", i)
+		}
+	}
+	if math.Abs(ss.Makespan-want.Makespan) > tol {
+		return fmt.Errorf("sched: makespan %g inconsistent with the segmented model (%g)", ss.Makespan, want.Makespan)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Segment-aware greedy pickers
+
+// lastSegEstimate is the closed-form candidate cost core: the estimated
+// start of the last segment from i to j. At K == 1 the (K-1)·g_s term is
+// exactly zero and the expression collapses to the unsegmented avail[i]
+// (busy and last-segment time merge), keeping costs bit-identical.
+func lastSegEstimate(sp *SegmentedProblem, st *segState, i, j int) float64 {
+	sk := st.busy[i] + float64(sp.K-1)*sp.Gs[i][j]
+	if a := st.segAt[i][sp.K-1]; a > sk {
+		sk = a
+	}
+	return sk
+}
+
+// flatSeg is FlatTree under segmentation: the same fixed reception order.
+type flatSeg struct{}
+
+func (flatSeg) segName() string { return FlatTree{}.Name() }
+
+func (flatSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
+	for d := 1; d < sp.N; d++ {
+		j := (sp.Root + d) % sp.N
+		if !st.inA[j] {
+			return sp.Root, j
+		}
+	}
+	return -1, -1
+}
+
+// fefSeg is FEF under segmentation. FEF's edge weights are static (latency,
+// or full-message g+L), so the picked tree is the segmentation-independent
+// FEF tree; only the timing changes.
+type fefSeg struct{ h FEF }
+
+func (f fefSeg) segName() string { return f.h.Name() }
+
+func (f fefSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
+	return f.h.pick(sp.Problem, &state{inA: st.inA})
+}
+
+// ecefSeg generalises the ECEF family: minimise the estimated last-segment
+// arrival max(busy_i + (K-1)·g_s, last_i) + W_last[i][j], plus the variant's
+// lookahead F_j (kept at full-message costs, as the lookahead ranks j's
+// utility for whole future transmissions).
+type ecefSeg struct{ h ecef }
+
+func (e ecefSeg) segName() string { return e.h.name }
+
+func (e ecefSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
+	shim := &state{inA: st.inA}
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	for j := 0; j < sp.N; j++ {
+		if st.inA[j] {
+			continue
+		}
+		fj := e.h.lookahead(sp.Problem, shim, j)
+		for i := 0; i < sp.N; i++ {
+			if !st.inA[i] {
+				continue
+			}
+			c := lastSegEstimate(sp, st, i, j) + sp.Wl[i][j] + fj
+			if c < best {
+				best, bi, bj = c, i, j
+			}
+		}
+	}
+	return bi, bj
+}
+
+// buSeg is BottomUp under segmentation: serve the receiver whose cheapest
+// estimated full-message completion is the largest.
+type buSeg struct{}
+
+func (buSeg) segName() string { return BottomUp{}.Name() }
+
+func (buSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
+	worst := math.Inf(-1)
+	bi, bj := -1, -1
+	for j := 0; j < sp.N; j++ {
+		if st.inA[j] {
+			continue
+		}
+		best := math.Inf(1)
+		argi := -1
+		for i := 0; i < sp.N; i++ {
+			if !st.inA[i] {
+				continue
+			}
+			if c := lastSegEstimate(sp, st, i, j) + sp.Wl[i][j] + sp.T[j]; c < best {
+				best, argi = c, i
+			}
+		}
+		if best > worst {
+			worst, bi, bj = best, argi, j
+		}
+	}
+	return bi, bj
+}
+
+// ScheduleSegmented builds a pipelined schedule for sp with the segment-aware
+// variant of h. Every paper heuristic (and Mixed) has a native segmented
+// greedy; other heuristics fall back to their unsegmented tree, exactly
+// re-timed under the per-segment model.
+func ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
+	pol := segPolicyFor(h, sp)
+	if pol == nil {
+		ss := EvaluateSegmented(sp, pairsOf(h.Schedule(sp.Problem)))
+		ss.Heuristic = h.Name()
+		return ss
+	}
+	ss := runSegmented(pol, sp)
+	ss.Heuristic = h.Name()
+	return ss
+}
+
+// segPolicyFor returns the native segmented picker for h, or nil when h has
+// none.
+func segPolicyFor(h Heuristic, sp *SegmentedProblem) segPolicy {
+	switch hh := h.(type) {
+	case FlatTree:
+		return flatSeg{}
+	case FEF:
+		return fefSeg{h: hh}
+	case ecef:
+		return ecefSeg{h: hh}
+	case BottomUp:
+		return buSeg{}
+	case Mixed:
+		return segPolicyFor(hh.inner(sp.Problem), sp)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined strategy: pick the segment size from a candidate ladder
+
+// MaxSegments bounds the segment count a ladder candidate may induce; the
+// exact evaluator is O(N·K) in time and memory, so the ladder skips sizes
+// that would split the message into more pieces than this.
+const MaxSegments = 8192
+
+// DefaultSegmentLadder returns the candidate segment sizes tried by
+// Pipelined for an m-byte message: the unsegmented m itself plus descending
+// powers of two from min(4 MiB, largest power below m) down to 4 KiB,
+// largest first (so equal makespans resolve to the fewest segments).
+func DefaultSegmentLadder(m int64) []int64 {
+	if m <= 0 {
+		// Degenerate broadcast: a single (empty) segment.
+		return []int64{1}
+	}
+	ladder := []int64{m}
+	for s := int64(1 << 22); s >= 4096; s >>= 1 {
+		if s >= m {
+			continue
+		}
+		if (m+s-1)/s > MaxSegments {
+			break
+		}
+		ladder = append(ladder, s)
+	}
+	return ladder
+}
+
+// Pipelined picks, for a base heuristic, the best segment size from a
+// candidate ladder: the paper's model extended to large messages, where
+// splitting the payload lets inter-cluster sends overlap with downstream
+// forwarding.
+type Pipelined struct {
+	// Base is the heuristic whose segment-aware variant builds each tree.
+	// Nil means Mixed{}, the paper's closing recommendation.
+	Base Heuristic
+	// Ladder overrides DefaultSegmentLadder (entries larger than the
+	// message act as "unsegmented").
+	Ladder []int64
+}
+
+func (pl Pipelined) base() Heuristic {
+	if pl.Base == nil {
+		return Mixed{}
+	}
+	return pl.Base
+}
+
+// Name implements the naming convention of the heuristic registry.
+func (pl Pipelined) Name() string { return "Pipelined-" + pl.base().Name() }
+
+// Best schedules a broadcast of m bytes from root on g at every ladder
+// segment size and returns the schedule with the smallest makespan. Ties
+// resolve to the earliest ladder entry (largest segments, least overhead).
+func (pl Pipelined) Best(g *topology.Grid, root int, m int64, opt Options) (*SegmentedSchedule, error) {
+	ladder := pl.Ladder
+	if len(ladder) == 0 {
+		ladder = DefaultSegmentLadder(m)
+	}
+	var best *SegmentedSchedule
+	for _, s := range ladder {
+		sp, err := NewSegmentedProblem(g, root, m, s, opt)
+		if err != nil {
+			return nil, err
+		}
+		ss := ScheduleSegmented(pl.base(), sp)
+		if best == nil || ss.Makespan < best.Makespan {
+			best = ss
+		}
+	}
+	best.Heuristic = pl.Name()
+	return best, nil
+}

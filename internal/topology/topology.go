@@ -263,6 +263,29 @@ func RandomGrid(r *rand.Rand, n int) *Grid {
 	return g
 }
 
+// RandomSizedGrid is RandomGrid with size-dependent gaps: each link's gap
+// at 1 MB is drawn from the Table 2 range as before, but a fraction of it
+// (drawn uniform in [2%, 10%], modelling per-message packet processing) is
+// fixed and the rest scales linearly with message size. RandomGrid's
+// constant gaps make every segment as expensive as the whole message, so
+// segmented-broadcast studies (DESIGN.md §7) use this variant; at the
+// paper's fixed 1 MB size both distributions agree.
+func RandomSizedGrid(r *rand.Rand, n int) *Grid {
+	const calib = int64(1 << 20)
+	g := RandomGrid(r, n)
+	for i := range g.Inter {
+		for j := range g.Inter[i] {
+			if i == j {
+				continue
+			}
+			g1mb := g.Inter[i][j].G.At(calib)
+			fixed := uniform(r, 0.02, 0.10) * g1mb
+			g.Inter[i][j].G = plogp.Linear(fixed, (g1mb-fixed)/float64(calib))
+		}
+	}
+	return g
+}
+
 // RandomSymmetricGrid is RandomGrid with L and g drawn once per unordered
 // pair, so the link matrices are symmetric. The paper does not state whether
 // its draws are symmetric; both variants are provided and compared in an

@@ -25,7 +25,11 @@ type Message struct {
 	From, To int
 	Size     int64
 	Tag      int
-	Payload  any
+	// Seg is the segment index within a pipelined multi-segment stream
+	// (0 for whole-message sends), so receivers can reassemble streams
+	// that interleave with other traffic.
+	Seg     int
+	Payload any
 	// SentAt is when the sender started transmitting; ArrivedAt is set on
 	// delivery to the receiver's inbox.
 	SentAt, ArrivedAt float64
@@ -119,11 +123,20 @@ func (nw *Network) jitter() float64 {
 // inbox one latency later. Send returns once the sender is free again, per
 // the pLogP gap semantics.
 func (nw *Network) Send(p *sim.Proc, from, to int, size int64, tag int, payload any) {
+	nw.SendSeg(p, from, to, size, 0, tag, payload)
+}
+
+// SendSeg is Send for one segment of a pipelined multi-segment stream: the
+// message carries the segment index and is costed at the segment size, so a
+// forwarding process can stream segments onward while later ones are still
+// in flight. Each segment pays the full pLogP per-message cost (the gap's
+// fixed part is the price of pipelining).
+func (nw *Network) SendSeg(p *sim.Proc, from, to int, size int64, seg, tag int, payload any) {
 	if from == to {
 		panic("vnet: self-send")
 	}
 	params := nw.link(from, to)
-	msg := &Message{From: from, To: to, Size: size, Tag: tag, Payload: payload, SentAt: p.Now()}
+	msg := &Message{From: from, To: to, Size: size, Tag: tag, Seg: seg, Payload: payload, SentAt: p.Now()}
 	occupied := nw.cfg.SoftwareOverhead + params.SendOverhead(size) + params.Gap(size)*nw.jitter()
 	lat := params.L * nw.jitter()
 	recvOv := params.RecvOverhead(size)
