@@ -368,10 +368,12 @@ func BenchmarkSegmentedSchedule(b *testing.B) {
 	g := topology.Grid5000()
 	const m = 16 << 20
 	sp := sched.MustSegmentedProblem(g, 0, m, 128<<10, sched.Options{})
+	b.ResetTimer()
 	var ss *sched.SegmentedSchedule
 	for i := 0; i < b.N; i++ {
 		ss = sched.ScheduleSegmented(sched.Mixed{}, sp)
 	}
+	b.StopTimer()
 	p := sched.MustProblem(g, 0, m, sched.Options{})
 	best, _ := sched.BestOf(sched.Paper(), p)
 	b.ReportMetric(ss.Makespan/best.Makespan, "vs-unseg")
@@ -427,6 +429,45 @@ func BenchmarkEnginePool(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelBuild measures single-schedule construction latency with
+// the per-round receiver scans sharded across worker pools — the regime
+// where one large construction is the unit of work. workers=1 is the
+// sequential incremental engine baseline; the schedules are bit-identical
+// at every worker count.
+func BenchmarkParallelBuild(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		p := sched.MustProblem(topology.RandomGrid(stats.NewRand(1), n), 0, 1<<20, sched.Options{Overlap: true})
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sched.ParallelBuild(sched.ECEFLAT(), p, w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSegmentedEngine compares the incremental segmented engine
+// against the naive quadratic-scan segmented pickers on large random
+// platforms (16 MB in 128 KB segments, Mixed) — the before/after pair of
+// the segmented-engine port, mirroring BenchmarkEngineVsReference.
+func BenchmarkSegmentedEngine(b *testing.B) {
+	for _, n := range []int{64, 128, 256, 512} {
+		g := topology.RandomGrid(stats.NewRand(1), n)
+		sp := sched.MustSegmentedProblem(g, 0, 16<<20, 128<<10, sched.Options{Overlap: true})
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched.ScheduleSegmented(sched.Mixed{}, sp)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched.ScheduleSegmentedReference(sched.Mixed{}, sp)
+			}
+		})
+	}
 }
 
 // BenchmarkSimKernel measures raw event throughput of the discrete-event

@@ -31,6 +31,7 @@ func main() {
 		fig    = flag.String("fig", "", "figure to regenerate: 1..8 or 'all'")
 		table  = flag.Int("table", 0, "table to regenerate: 3")
 		iters  = flag.Int("iters", 10000, "Monte-Carlo iterations (figures 1-4 and 8)")
+		scanW  = flag.Int("scan-workers", 0, "per-construction scan workers (sched.ParallelBuild); 0/1 = sequential engine, figures are identical either way")
 		segN   = flag.Int("segclusters", 10, "cluster count for the random segment sweep (figure 8)")
 		seed   = flag.Int64("seed", 42, "random seed")
 		outDir = flag.String("out", "results", "output directory for .dat/.csv files")
@@ -58,7 +59,7 @@ func main() {
 		fatal(fmt.Errorf("unknown table %d (only Table 3 is reproducible)", *table))
 	}
 
-	mc := experiment.MonteCarlo{Iterations: *iters, Seed: *seed}
+	mc := experiment.MonteCarlo{Iterations: *iters, Seed: *seed, ScanWorkers: *scanW}
 	practical := experiment.PracticalConfig{
 		Net: vnet.Config{Jitter: *jitter, Seed: *seed},
 	}

@@ -30,6 +30,32 @@ type MonteCarlo struct {
 	// Root, when >= 0, fixes the root cluster; -1 draws it uniformly.
 	// Default 0 (the paper broadcasts from a fixed root).
 	Root int
+	// ScanWorkers, when > 1, builds every schedule through
+	// sched.ParallelBuild with that many goroutines per construction — on
+	// top of the per-iteration Workers parallelism. Schedules are
+	// bit-identical either way (ParallelBuild's contract), so figures do
+	// not change; this targets sweeps over cluster counts large enough
+	// that a single construction is the latency unit.
+	ScanWorkers int
+}
+
+// schedule builds one schedule the way the configuration asks: through the
+// worker's engine pool (the allocation-free default) or the worker's
+// persistent parallel builder (pb is non-nil iff ScanWorkers > 1).
+func (mc MonteCarlo) schedule(ep *sched.EnginePool, pb *sched.ParallelBuilder, h sched.Heuristic, p *sched.Problem) *sched.Schedule {
+	if pb != nil {
+		return pb.Schedule(h, p)
+	}
+	return ep.Schedule(h, p)
+}
+
+// scanBuilder returns the per-worker parallel builder demanded by the
+// configuration, or nil for the engine-pool default.
+func (mc MonteCarlo) scanBuilder() *sched.ParallelBuilder {
+	if mc.ScanWorkers > 1 {
+		return sched.NewParallelBuilder(mc.ScanWorkers)
+	}
+	return nil
 }
 
 func (mc MonteCarlo) iterations() int {
@@ -55,38 +81,57 @@ func (mc MonteCarlo) msgSize() int64 {
 
 // meanCompletion runs the Monte-Carlo study for one cluster count and
 // returns one accumulator per heuristic.
+//
+// Workers fill disjoint iterations of a shared per-iteration result table
+// and the accumulators are folded in iteration order afterwards (the
+// FigSegmentsRandom ordered-fold pattern), so every statistic — not just
+// its limit — is bitwise identical for any worker count.
 func (mc MonteCarlo) meanCompletion(hs []sched.Heuristic, n int) []stats.Accumulator {
+	spans := mc.sweepSpans(hs, n)
+	out := make([]stats.Accumulator, len(hs))
+	for _, row := range spans {
+		for hi := range hs {
+			out[hi].Add(row[hi])
+		}
+	}
+	return out
+}
+
+// sweepSpans computes the per-iteration makespans of every heuristic:
+// spans[it][hi] is iteration it scheduled with hs[hi]. Iterations are
+// sharded across the worker pool; each slot is written by exactly one
+// worker, so the table's content is independent of the worker count.
+func (mc MonteCarlo) sweepSpans(hs []sched.Heuristic, n int) [][]float64 {
 	iters := mc.iterations()
 	nw := mc.workers()
-	perWorker := make([][]stats.Accumulator, nw)
+	spans := make([][]float64, iters)
 
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
-		perWorker[w] = make([]stats.Accumulator, len(hs))
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// One engine pool per worker: pools are not concurrency-safe
-			// but make repeated schedule construction allocation-free.
+			// One engine pool (and, when ScanWorkers asks for it, one
+			// persistent parallel builder) per worker: neither is
+			// concurrency-safe, and per-worker reuse keeps repeated
+			// construction free of pool setup churn.
 			ep := sched.NewEnginePool()
-			acc := perWorker[w]
+			pb := mc.scanBuilder()
+			if pb != nil {
+				defer pb.Close()
+			}
 			for it := w; it < iters; it += nw {
 				p := mc.instance(n, it)
+				row := make([]float64, len(hs))
 				for hi, h := range hs {
-					acc[hi].Add(ep.Schedule(h, p).Makespan)
+					row[hi] = mc.schedule(ep, pb, h, p).Makespan
 				}
+				spans[it] = row
 			}
 		}(w)
 	}
 	wg.Wait()
-
-	out := make([]stats.Accumulator, len(hs))
-	for hi := range hs {
-		for w := 0; w < nw; w++ {
-			out[hi].Merge(&perWorker[w][hi])
-		}
-	}
-	return out
+	return spans
 }
 
 // instance draws the it-th random problem for n clusters.
@@ -180,44 +225,25 @@ func (mc MonteCarlo) Fig4() *Figure {
 }
 
 // hitCounts counts, per heuristic, how often it attains the global minimum.
+// Like meanCompletion it folds the shared per-iteration table in iteration
+// order, so the counts are worker-count-exact by construction (integer
+// sums are order-independent, but the shared pattern keeps every figure on
+// one determinism argument).
 func (mc MonteCarlo) hitCounts(hs []sched.Heuristic, n int) []int64 {
 	const tol = 1e-9
-	iters := mc.iterations()
-	nw := mc.workers()
-	perWorker := make([][]int64, nw)
-
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		perWorker[w] = make([]int64, len(hs))
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ep := sched.NewEnginePool()
-			counts := perWorker[w]
-			spans := make([]float64, len(hs))
-			for it := w; it < iters; it += nw {
-				p := mc.instance(n, it)
-				best := 0.0
-				for hi, h := range hs {
-					spans[hi] = ep.Schedule(h, p).Makespan
-					if hi == 0 || spans[hi] < best {
-						best = spans[hi]
-					}
-				}
-				for hi := range hs {
-					if spans[hi] <= best+tol {
-						counts[hi]++
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
+	spans := mc.sweepSpans(hs, n)
 	out := make([]int64, len(hs))
-	for _, counts := range perWorker {
-		for hi, c := range counts {
-			out[hi] += c
+	for _, row := range spans {
+		best := row[0]
+		for _, s := range row[1:] {
+			if s < best {
+				best = s
+			}
+		}
+		for hi := range hs {
+			if row[hi] <= best+tol {
+				out[hi]++
+			}
 		}
 	}
 	return out

@@ -132,6 +132,10 @@ func (mc MonteCarlo) FigSegmentsRandom(n int, sizes []int64, counts []int) *Figu
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One engine pool per worker: the pooled segmented engine
+			// produces identical schedules and recycles the candidate
+			// caches across the (size, count) grid.
+			ep := sched.NewEnginePool()
 			for it := w; it < iters; it += nw {
 				r := stats.NewRand(stats.SplitSeed(mc.Seed, int64(it)*2000003+int64(n)))
 				g := topology.RandomSizedGrid(r, n)
@@ -142,10 +146,10 @@ func (mc MonteCarlo) FigSegmentsRandom(n int, sizes []int64, counts []int) *Figu
 				row := make([]float64, len(sizes)*len(counts))
 				for si, m := range sizes {
 					sp1 := sched.MustSegmentedProblem(g, root, m, segSizeFor(m, 1), sched.Options{Overlap: true})
-					unseg := sched.ScheduleSegmented(sched.Mixed{}, sp1).Makespan
+					unseg := ep.ScheduleSegmented(sched.Mixed{}, sp1).Makespan
 					for ci, count := range counts {
 						sp := sched.MustSegmentedProblem(g, root, m, segSizeFor(m, count), sched.Options{Overlap: true})
-						span := sched.ScheduleSegmented(sched.Mixed{}, sp).Makespan
+						span := ep.ScheduleSegmented(sched.Mixed{}, sp).Makespan
 						row[si*len(counts)+ci] = span / unseg
 					}
 				}

@@ -441,67 +441,108 @@ func (h *laHeap) top(inA []bool) laEntry {
 }
 
 // ---------------------------------------------------------------------------
-// ECEF family engine
+// Lookahead set: the cached F(j) extrema shared by the unsegmented and
+// segmented ECEF-family engines (the lookahead always ranks full-message
+// utility, so both engines key it off p.W and p.T).
 
-// ecefEngine is the incremental picker for ECEF and its lookahead variants.
-type ecefEngine struct {
-	h    ecef
-	rc   recvCache
+// lookaheadSet holds the per-receiver lookahead heaps and their cached
+// extrema.
+type lookaheadSet struct {
 	la   []laHeap  // per-receiver lookahead heaps; nil for plain ECEF
 	fVal []float64 // cached F(j)
 	fTop []int32   // member attaining fVal[j] (-1 when B\{j} is empty)
 	neg  bool      // lookahead weights are negated (max variant)
 }
 
-func newECEFEngine(h ecef, p *Problem) *ecefEngine {
-	e := &ecefEngine{h: h, rc: newRecvCache(p)}
-	if h.kind == laNone {
-		return e
+// laEntriesFor appends receiver j's lookahead candidates — every cluster
+// k ∉ {j, skip} keyed by h's weight expression (negated for the max
+// variant) — and returns the extended backing. skip < 0 disables the
+// filter (the pool's root-independent templates). Both the direct engine
+// build and the pool's template builder go through this one function, so
+// the weight expression cannot drift between them.
+func laEntriesFor(backing []laEntry, h ecef, p *Problem, j, skip int) []laEntry {
+	neg := h.kind == laMaxWT
+	for k := 0; k < p.N; k++ {
+		if k == j || k == skip {
+			continue
+		}
+		w := p.W[j][k]
+		if h.kind != laMinW {
+			w += p.T[k]
+		}
+		if neg {
+			w = -w
+		}
+		backing = append(backing, laEntry{w: w, k: int32(k)})
 	}
+	return backing
+}
+
+// build constructs the per-receiver heaps over every k ∉ {j, root} and
+// caches the initial extrema (A = {root}).
+func (ls *lookaheadSet) build(h ecef, p *Problem) {
 	n := p.N
-	e.neg = h.kind == laMaxWT
-	e.la = make([]laHeap, n)
-	e.fVal = make([]float64, n)
-	e.fTop = make([]int32, n)
+	ls.neg = h.kind == laMaxWT
+	ls.la = make([]laHeap, n)
+	ls.fVal = make([]float64, n)
+	ls.fTop = make([]int32, n)
 	backing := make([]laEntry, 0, n*n)
 	for j := 0; j < n; j++ {
 		if j == p.Root {
 			continue
 		}
 		start := len(backing)
-		for k := 0; k < n; k++ {
-			if k == j || k == p.Root {
-				continue
-			}
-			w := p.W[j][k]
-			if h.kind != laMinW {
-				w += p.T[k]
-			}
-			if e.neg {
-				w = -w
-			}
-			backing = append(backing, laEntry{w: w, k: int32(k)})
-		}
-		e.la[j].es = backing[start:len(backing):len(backing)]
-		e.la[j].heapify()
+		backing = laEntriesFor(backing, h, p, j, p.Root)
+		ls.la[j].es = backing[start:len(backing):len(backing)]
+		ls.la[j].heapify()
 		// Initial extremum: nobody beyond the root is in A yet, so the
 		// raw heap top is current.
-		if len(e.la[j].es) == 0 {
-			e.fVal[j], e.fTop[j] = 0, -1
+		if len(ls.la[j].es) == 0 {
+			ls.fVal[j], ls.fTop[j] = 0, -1
 		} else {
-			e.cache(j, e.la[j].es[0])
+			ls.cache(j, ls.la[j].es[0])
 		}
 	}
-	return e
 }
 
 // cache stores the lookahead extremum entry of receiver j, undoing the
 // max-variant negation.
-func (e *ecefEngine) cache(j int, top laEntry) {
-	e.fVal[j], e.fTop[j] = top.w, top.k
-	if e.neg && top.k >= 0 {
-		e.fVal[j] = -top.w
+func (ls *lookaheadSet) cache(j int, top laEntry) {
+	ls.fVal[j], ls.fTop[j] = top.w, top.k
+	if ls.neg && top.k >= 0 {
+		ls.fVal[j] = -top.w
 	}
+}
+
+// refresh lazily recomputes F(j) when the member realising it joined A.
+// The guard must stay inlinable — it runs for every receiver every round —
+// so the rare recompute lives in its own (non-inlined) helper.
+func (ls *lookaheadSet) refresh(j int, inA []bool) {
+	if k := ls.fTop[j]; k >= 0 && inA[k] {
+		ls.recompute(j, inA)
+	}
+}
+
+func (ls *lookaheadSet) recompute(j int, inA []bool) {
+	ls.cache(j, ls.la[j].top(inA))
+}
+
+// ---------------------------------------------------------------------------
+// ECEF family engine
+
+// ecefEngine is the incremental picker for ECEF and its lookahead variants.
+type ecefEngine struct {
+	h  ecef
+	rc recvCache
+	lookaheadSet
+}
+
+func newECEFEngine(h ecef, p *Problem) *ecefEngine {
+	e := &ecefEngine{h: h, rc: newRecvCache(p)}
+	if h.kind != laNone {
+		e.build(h, p)
+	}
+	return e
 }
 
 func (e *ecefEngine) Name() string { return e.h.name }
@@ -524,9 +565,7 @@ func (e *ecefEngine) pick(p *Problem, s *state) (int, int) {
 			if s.inA[j] {
 				continue
 			}
-			if k := e.fTop[j]; k >= 0 && s.inA[k] {
-				e.cache(j, e.la[j].top(s.inA))
-			}
+			e.refresh(j, s.inA)
 			if c := e.rc.cKey[j] + e.fVal[j]; c < best {
 				best, bi, bj = c, int(e.rc.cSnd[j]), j
 			}

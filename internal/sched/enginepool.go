@@ -40,6 +40,13 @@ type EnginePool struct {
 	fefCSnd  []int32
 	fefFresh []int32
 
+	// Segmented-engine buffers (allocated on first segmented schedule).
+	segN        int
+	segRc       segRecvCache
+	segEcefShel segEcefEngine
+	segBuShell  segBuEngine
+	segFefShell segFefEngine
+
 	// Lookahead working set (copied from a template per schedule).
 	laBacking []laEntry
 	laHeaps   []laHeap
@@ -166,18 +173,24 @@ func (ep *EnginePool) ecefFor(h ecef, p *Problem) *ecefEngine {
 	ep.resetRecvCache(p)
 	e := &ep.ecefShell
 	*e = ecefEngine{h: h, rc: ep.rc}
-	if h.kind == laNone {
-		return e
+	if h.kind != laNone {
+		ep.loadLookahead(&e.lookaheadSet, h, p)
 	}
+	return e
+}
+
+// loadLookahead readies a lookahead set from the platform's cached
+// template, pointing it at the pool's working buffers.
+func (ep *EnginePool) loadLookahead(ls *lookaheadSet, h ecef, p *Problem) {
 	tpl := ep.template(h, p)
 	copy(ep.laBacking, tpl.backing)
 	for j := 0; j < p.N; j++ {
 		lo, hi := tpl.off[j], tpl.off[j+1]
 		ep.laHeaps[j].es = ep.laBacking[lo:hi:hi]
 	}
-	e.neg = h.kind == laMaxWT
-	e.la = ep.laHeaps
-	e.fVal, e.fTop = ep.fVal, ep.fTop
+	ls.neg = h.kind == laMaxWT
+	ls.la = ep.laHeaps
+	ls.fVal, ls.fTop = ep.fVal, ep.fTop
 	// Initial extrema: A = {root}, so the template's root entries are
 	// discarded here exactly as the engine discards any member that joined
 	// A; heaps hold the same candidate sets as an unpooled build.
@@ -186,10 +199,73 @@ func (ep *EnginePool) ecefFor(h ecef, p *Problem) *ecefEngine {
 		if j == p.Root {
 			continue
 		}
-		e.cache(j, e.la[j].top(ep.inA))
+		ls.cache(j, ls.la[j].top(ep.inA))
 	}
 	ep.inA[p.Root] = false
-	return e
+}
+
+// ---------------------------------------------------------------------------
+// Segmented scheduling through the pool
+
+// ScheduleSegmented builds sp's pipelined schedule with h through the
+// pool's recycled segmented engines. The result is identical to
+// ScheduleSegmented(h, sp) in every field; steady-state construction reuses
+// the candidate caches, the per-segment transposes and the lookahead
+// templates (the lookahead keys off the full-message W and T, so templates
+// are shared with the unsegmented engines — any segment size, same
+// platform).
+func (ep *EnginePool) ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
+	if referencePick || sp.N < segEngineMinN {
+		return ScheduleSegmented(h, sp)
+	}
+	var pol segPolicy
+	switch hh := h.(type) {
+	case FlatTree:
+		pol = &flatSegEngine{d: 1}
+	case FEF:
+		ep.ensure(sp.N)
+		ep.segFefShell = segFefEngine{e: ep.fefFor(hh, sp.Problem)}
+		pol = &ep.segFefShell
+	case ecef:
+		ep.ensureSeg(sp)
+		e := &ep.segEcefShel
+		*e = segEcefEngine{h: hh, rc: ep.segRc}
+		if hh.kind != laNone {
+			ep.loadLookahead(&e.lookaheadSet, hh, sp.Problem)
+		}
+		pol = e
+	case BottomUp:
+		ep.ensureSeg(sp)
+		ep.segBuShell = segBuEngine{rc: ep.segRc}
+		pol = &ep.segBuShell
+	case Mixed:
+		ss := ep.ScheduleSegmented(hh.inner(sp.Problem), sp)
+		ss.Heuristic = hh.Name()
+		return ss
+	default:
+		return ScheduleSegmented(h, sp)
+	}
+	ss := runSegmented(pol, sp)
+	ss.Heuristic = h.Name()
+	return ss
+}
+
+// ensureSeg sizes and resets the pooled segmented receiver cache for sp.
+func (ep *EnginePool) ensureSeg(sp *SegmentedProblem) {
+	ep.ensure(sp.N)
+	if ep.segN != sp.N {
+		ep.segN = sp.N
+		n := sp.N
+		ep.segRc = segRecvCache{
+			heaps:      make([]segSenderHeap, n),
+			integrated: make([]int32, n),
+			joined:     make([]int32, 0, n),
+			cKey:       make([]float64, n),
+			cSnd:       make([]int32, n),
+			nq:         make([]int32, n),
+		}
+	}
+	ep.segRc.reset(sp)
 }
 
 // maxTemplates bounds the template cache. Sweeps over one platform use a
@@ -214,22 +290,9 @@ func (ep *EnginePool) template(h ecef, p *Problem) *laTemplate {
 	if h.kind != laMinW {
 		tpl.t = append([]float64(nil), p.T...)
 	}
-	neg := h.kind == laMaxWT
 	for j := 0; j < n; j++ {
 		tpl.off[j] = len(tpl.backing)
-		for k := 0; k < n; k++ {
-			if k == j {
-				continue
-			}
-			w := p.W[j][k]
-			if h.kind != laMinW {
-				w += p.T[k]
-			}
-			if neg {
-				w = -w
-			}
-			tpl.backing = append(tpl.backing, laEntry{w: w, k: int32(k)})
-		}
+		tpl.backing = laEntriesFor(tpl.backing, h, p, j, -1)
 		hp := laHeap{es: tpl.backing[tpl.off[j]:len(tpl.backing)]}
 		hp.heapify()
 	}

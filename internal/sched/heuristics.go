@@ -223,14 +223,17 @@ func (BottomUp) pick(p *Problem, s *state) (int, int) {
 		if s.inA[j] {
 			continue
 		}
-		// Cheapest way to serve j.
+		// Cheapest way to serve j. T[j] is invariant over senders; hoisting
+		// the load keeps the summation association (avail + W) + T intact,
+		// so the scan stays bit-identical to the incremental engine.
+		tj := p.T[j]
 		best := math.Inf(1)
 		argi := -1
 		for i := 0; i < p.N; i++ {
 			if !s.inA[i] {
 				continue
 			}
-			if c := s.avail[i] + p.W[i][j] + p.T[j]; c < best {
+			if c := s.avail[i] + p.W[i][j] + tj; c < best {
 				best, argi = c, i
 			}
 		}

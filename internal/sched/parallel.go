@@ -1,0 +1,331 @@
+package sched
+
+// Parallel schedule construction. The per-round candidate scans of the
+// incremental engines (engine.go) are per-receiver independent: syncing a
+// receiver's cached best sender and scoring its candidate touches only that
+// receiver's cache slots, while the shared inputs (the join log, avail, the
+// A-membership vector) are read-only during a scan. ParallelBuild exploits
+// this by sharding the receiver index space into contiguous ranges, one per
+// worker, and folding the per-shard candidates in shard order.
+//
+// Determinism is by construction, not by tolerance:
+//
+//   - every candidate cost is computed with the same expression and
+//     operation order as the sequential engine, wholly inside one shard;
+//   - a shard scan is the sequential scan restricted to [lo, hi), so it
+//     keeps the shard's first minimum under the engine's tie-break order;
+//   - the fold visits shards in ascending index order with the same strict
+//     tie-break predicate, which recovers the first minimum of the full
+//     sequential scan for ANY partition of the index space.
+//
+// Since the per-receiver cache state (flat-requery budgets, candidate
+// heaps, lookahead heaps) evolves through exactly the same per-receiver
+// operations regardless of sharding, the whole construction is bit-identical
+// to the sequential engine — and hence to the naive reference pickers — at
+// any worker count. The determinism and equivalence tests pin this.
+//
+// The win is per-schedule latency on large grids (N >= a few hundred),
+// where a single construction is the unit of work — per-root or
+// per-message-size sweeps that cannot amortise across instances. Sweeps
+// with many independent instances (the Monte-Carlo figures) parallelise
+// across iterations instead and fold results in iteration order; see
+// internal/experiment.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pickCand is one shard's best candidate; j < 0 marks an empty shard (no
+// receiver left in the range).
+type pickCand struct {
+	cost float64
+	i, j int32
+}
+
+// parallelScanner is implemented by incremental engines whose per-round
+// scan can be sharded by receiver range.
+type parallelScanner interface {
+	policy
+	// scanShard syncs and scans receivers [lo, hi), returning the shard's
+	// candidate under the engine's scan order.
+	scanShard(p *Problem, s *state, lo, hi int) pickCand
+	// foldBetter reports whether next beats cur under the engine's
+	// tie-break; folding shard candidates in ascending shard order with it
+	// reproduces the sequential scan's first minimum.
+	foldBetter(next, cur pickCand) bool
+	// commitPick records the chosen pair (join log, invalidation marks).
+	commitPick(i, j int)
+}
+
+// scanReq is one round's shard assignment handed to a pool worker.
+type scanReq struct {
+	sc     parallelScanner
+	p      *Problem
+	s      *state
+	lo, hi int
+}
+
+// ParallelBuilder owns a persistent worker pool for parallel schedule
+// construction. Sweeps that build many schedules (root rotation, size
+// ladders, Monte-Carlo workers) create one builder and reuse it, so the
+// goroutines are spawned once per sweep rather than once per schedule.
+// A builder is NOT safe for concurrent use — one per sweep worker, like
+// EnginePool.
+type ParallelBuilder struct {
+	workers int
+	cands   []pickCand
+	req     []chan scanReq
+	wg      sync.WaitGroup
+}
+
+// NewParallelBuilder starts a pool of workers goroutines (workers <= 0
+// means GOMAXPROCS). Close releases them.
+func NewParallelBuilder(workers int) *ParallelBuilder {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pb := &ParallelBuilder{
+		workers: workers,
+		cands:   make([]pickCand, workers),
+		req:     make([]chan scanReq, workers),
+	}
+	for w := range pb.req {
+		pb.req[w] = make(chan scanReq)
+		go func(w int) {
+			for rq := range pb.req[w] {
+				pb.cands[w] = rq.sc.scanShard(rq.p, rq.s, rq.lo, rq.hi)
+				pb.wg.Done()
+			}
+		}(w)
+	}
+	return pb
+}
+
+// Close releases the pool's goroutines. The builder must not be used
+// afterwards.
+func (pb *ParallelBuilder) Close() {
+	for _, ch := range pb.req {
+		close(ch)
+	}
+}
+
+// Schedule builds h's schedule with the per-round receiver scans sharded
+// across the pool. The result is bit-identical to h.Schedule(p) in every
+// field at any worker count; only the construction latency changes.
+// Heuristics without a shardable scan (FlatTree's cursor, exhaustive
+// searches) fall back to the sequential path, which satisfies the same
+// contract trivially.
+func (pb *ParallelBuilder) Schedule(h Heuristic, p *Problem) *Schedule {
+	switch hh := h.(type) {
+	case Mixed:
+		sc := pb.Schedule(hh.inner(p), p)
+		sc.Heuristic = hh.Name()
+		return sc
+	case Refined:
+		return Refine(p, pb.Schedule(hh.Base, p), hh.MaxRounds)
+	}
+	if pb.workers <= 1 || p.N <= 1 || referencePick {
+		return h.Schedule(p)
+	}
+	var sc parallelScanner
+	switch hh := h.(type) {
+	case FEF:
+		sc = newFEFEngine(hh, p)
+	case ecef:
+		sc = newECEFEngine(hh, p)
+	case BottomUp:
+		sc = newBUEngine(p)
+	default:
+		return h.Schedule(p)
+	}
+	return run(&parallelPolicy{pb: pb, sc: sc}, p)
+}
+
+// parallelPolicy adapts a parallelScanner to the round-based run engine,
+// dispatching each round's scan to the builder's pool.
+type parallelPolicy struct {
+	pb *ParallelBuilder
+	sc parallelScanner
+}
+
+func (pp *parallelPolicy) Name() string { return pp.sc.Name() }
+
+func (pp *parallelPolicy) pick(p *Problem, s *state) (int, int) {
+	pb := pp.pb
+	// Never more shards than receivers; idle pool workers simply skip the
+	// round. Shard boundaries depend only on (N, shards), so the fold
+	// order — and hence the result — is independent of pool size.
+	shards := pb.workers
+	if shards > p.N {
+		shards = p.N
+	}
+	pb.wg.Add(shards)
+	for w := 0; w < shards; w++ {
+		pb.req[w] <- scanReq{sc: pp.sc, p: p, s: s, lo: w * p.N / shards, hi: (w + 1) * p.N / shards}
+	}
+	pb.wg.Wait()
+	best := pickCand{i: -1, j: -1}
+	for _, c := range pb.cands[:shards] {
+		if c.j < 0 {
+			continue
+		}
+		if best.j < 0 || pp.sc.foldBetter(c, best) {
+			best = c
+		}
+	}
+	pp.sc.commitPick(int(best.i), int(best.j))
+	return int(best.i), int(best.j)
+}
+
+// ParallelBuild is the one-shot form of ParallelBuilder.Schedule: build a
+// single schedule with workers scan goroutines, then release the pool.
+func ParallelBuild(h Heuristic, p *Problem, workers int) *Schedule {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.N {
+		workers = p.N
+	}
+	if workers <= 1 || referencePick {
+		// Delegate composites so the sequential fallback stays uniform.
+		pb := ParallelBuilder{workers: 1}
+		return pb.Schedule(h, p)
+	}
+	pb := NewParallelBuilder(workers)
+	defer pb.Close()
+	return pb.Schedule(h, p)
+}
+
+// ---------------------------------------------------------------------------
+// Shard scans: the sequential picks of engine.go restricted to [lo, hi).
+
+// syncRange is recvCache.sync restricted to receivers [lo, hi): fold the
+// senders that joined since the last sync into the range's caches, then
+// requery the range's receivers whose cached best sender transmitted last
+// round. It does NOT advance csync — that happens once per round, at
+// commit — so every shard folds the same join-log suffix.
+func (rc *recvCache) syncRange(p *Problem, s *state, lo, hi int) {
+	for _, i := range rc.joined[rc.csync:] {
+		av, row := s.avail[i], p.W[i]
+		for j := lo; j < hi; j++ {
+			if s.inA[j] {
+				continue
+			}
+			key := av + row[j]
+			if key < rc.cKey[j] || (key == rc.cKey[j] && i < rc.cSnd[j]) {
+				rc.cKey[j], rc.cSnd[j] = key, i
+			}
+		}
+	}
+	if rc.lastI >= 0 {
+		for j := lo; j < hi; j++ {
+			if !s.inA[j] && rc.cSnd[j] == rc.lastI {
+				rc.requery(p, s, j)
+			}
+		}
+	}
+}
+
+// commitRound advances the join-log cursor (the work syncRange defers) and
+// records the pair.
+func (rc *recvCache) commitRound(i, j int) {
+	rc.csync = len(rc.joined)
+	rc.commit(i, j)
+}
+
+// ECEF family.
+
+func (e *ecefEngine) scanShard(p *Problem, s *state, lo, hi int) pickCand {
+	e.rc.syncRange(p, s, lo, hi)
+	best := pickCand{i: -1, j: -1}
+	if e.la == nil {
+		for j := lo; j < hi; j++ {
+			if s.inA[j] {
+				continue
+			}
+			if c := e.rc.cKey[j]; best.j < 0 || c < best.cost {
+				best = pickCand{cost: c, i: e.rc.cSnd[j], j: int32(j)}
+			}
+		}
+	} else {
+		for j := lo; j < hi; j++ {
+			if s.inA[j] {
+				continue
+			}
+			e.refresh(j, s.inA)
+			if c := e.rc.cKey[j] + e.fVal[j]; best.j < 0 || c < best.cost {
+				best = pickCand{cost: c, i: e.rc.cSnd[j], j: int32(j)}
+			}
+		}
+	}
+	return best
+}
+
+// foldBetter replicates the sequential strict improvement over ascending j:
+// in shard order, a later shard only wins with a strictly smaller cost.
+func (e *ecefEngine) foldBetter(next, cur pickCand) bool { return next.cost < cur.cost }
+
+func (e *ecefEngine) commitPick(i, j int) { e.rc.commitRound(i, j) }
+
+// BottomUp.
+
+func (e *buEngine) scanShard(p *Problem, s *state, lo, hi int) pickCand {
+	e.rc.syncRange(p, s, lo, hi)
+	best := pickCand{i: -1, j: -1}
+	for j := lo; j < hi; j++ {
+		if s.inA[j] {
+			continue
+		}
+		if c := e.rc.cKey[j] + p.T[j]; best.j < 0 || c > best.cost {
+			best = pickCand{cost: c, i: e.rc.cSnd[j], j: int32(j)}
+		}
+	}
+	return best
+}
+
+// foldBetter: BottomUp maximises with strict improvement over ascending j.
+func (e *buEngine) foldBetter(next, cur pickCand) bool { return next.cost > cur.cost }
+
+func (e *buEngine) commitPick(i, j int) { e.rc.commitRound(i, j) }
+
+// FEF. The engine's scan is receiver-major with a (weight, sender) key, so
+// receiver shards fold with the same predicate.
+
+func (e *fefEngine) scanShard(p *Problem, s *state, lo, hi int) pickCand {
+	wm := p.L
+	if e.h.Weight == WeightFull {
+		wm = p.W
+	}
+	for _, i := range e.fresh {
+		row := wm[i]
+		for j := lo; j < hi; j++ {
+			if s.inA[j] {
+				continue
+			}
+			if w := row[j]; w < e.cW[j] || (w == e.cW[j] && i < e.cSnd[j]) {
+				e.cW[j], e.cSnd[j] = w, i
+			}
+		}
+	}
+	best := pickCand{i: -1, j: -1}
+	for j := lo; j < hi; j++ {
+		if s.inA[j] {
+			continue
+		}
+		if w, i := e.cW[j], e.cSnd[j]; best.j < 0 || w < best.cost || (w == best.cost && i < best.i) {
+			best = pickCand{cost: w, i: i, j: int32(j)}
+		}
+	}
+	return best
+}
+
+// foldBetter replicates the naive FEF tie-break (weight, then lowest
+// sender; the receiver order is the ascending fold itself).
+func (e *fefEngine) foldBetter(next, cur pickCand) bool {
+	return next.cost < cur.cost || (next.cost == cur.cost && next.i < cur.i)
+}
+
+func (e *fefEngine) commitPick(_, j int) {
+	e.fresh = append(e.fresh[:0], int32(j))
+}

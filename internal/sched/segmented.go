@@ -81,6 +81,13 @@ func NewSegmentedProblem(g *topology.Grid, root int, m, segSize int64, opt Optio
 		k = int((m + segSize - 1) / segSize)
 		last = m - int64(k-1)*segSize
 	}
+	// The exact state is O(N·K) in time and memory, so an adversarial
+	// segSize (say 1 byte of a 16 MB message) must be rejected here, where
+	// untrusted sizes enter — not just skipped by the ladder search.
+	if k > MaxSegments {
+		return nil, fmt.Errorf("sched: %d-byte segments split a %d-byte message into %d segments (max %d)",
+			segSize, m, k, MaxSegments)
+	}
 	sp := &SegmentedProblem{
 		Problem:  p,
 		SegSize:  segSize,
@@ -417,10 +424,17 @@ func (buSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 
 // ScheduleSegmented builds a pipelined schedule for sp with the segment-aware
 // variant of h. Every paper heuristic (and Mixed) has a native segmented
-// greedy; other heuristics fall back to their unsegmented tree, exactly
-// re-timed under the per-segment model.
+// greedy — served by the incremental segmented engine (segengine.go), which
+// is bit-identical to the naive pickers retained below; other heuristics
+// fall back to their unsegmented tree, exactly re-timed under the
+// per-segment model.
 func ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
-	pol := segPolicyFor(h, sp)
+	var pol segPolicy
+	if referencePick || sp.N < segEngineMinN {
+		pol = segPolicyFor(h, sp)
+	} else {
+		pol = segEnginePolicyFor(h, sp)
+	}
 	if pol == nil {
 		ss := EvaluateSegmented(sp, pairsOf(h.Schedule(sp.Problem)))
 		ss.Heuristic = h.Name()
@@ -431,8 +445,24 @@ func ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
 	return ss
 }
 
-// segPolicyFor returns the native segmented picker for h, or nil when h has
-// none.
+// ScheduleSegmentedReference forces the naive quadratic-scan segmented
+// pickers, the reference the incremental segmented engine is equivalence-
+// tested and benchmarked against. The produced schedules are identical to
+// ScheduleSegmented's in every field; only the construction cost differs.
+func ScheduleSegmentedReference(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
+	pol := segPolicyFor(h, sp)
+	if pol == nil {
+		ss := EvaluateSegmented(sp, pairsOf(Reference{Base: h}.Schedule(sp.Problem)))
+		ss.Heuristic = h.Name()
+		return ss
+	}
+	ss := runSegmented(pol, sp)
+	ss.Heuristic = h.Name()
+	return ss
+}
+
+// segPolicyFor returns the native NAIVE segmented picker for h, or nil when
+// h has none (see segEnginePolicyFor for the incremental counterparts).
 func segPolicyFor(h Heuristic, sp *SegmentedProblem) segPolicy {
 	switch hh := h.(type) {
 	case FlatTree:

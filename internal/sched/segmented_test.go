@@ -97,6 +97,14 @@ func TestSegmentedProblemShape(t *testing.T) {
 	if _, err := NewSegmentedProblem(g, 0, 1<<20, 0, Options{}); err == nil {
 		t.Fatal("zero segment size accepted")
 	}
+	// The exact state is O(N·K): segment counts beyond MaxSegments must be
+	// rejected at construction, not discovered as an allocation blowup.
+	if _, err := NewSegmentedProblem(g, 0, 16<<20, 1, Options{}); err == nil {
+		t.Fatal("1-byte segments of a 16 MB message accepted (K way beyond MaxSegments)")
+	}
+	if _, err := NewSegmentedProblem(g, 0, 16<<20, (16<<20)/MaxSegments, Options{}); err != nil {
+		t.Fatalf("K == MaxSegments rejected: %v", err)
+	}
 	even := MustSegmentedProblem(g, 0, 1<<20, 1<<18, Options{})
 	if even.K != 4 || even.LastSize != 1<<18 {
 		t.Fatalf("even split: K=%d last=%d", even.K, even.LastSize)

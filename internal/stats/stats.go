@@ -42,6 +42,9 @@ func (a *Accumulator) Add(x float64) {
 }
 
 // Merge folds another accumulator into a (parallel reduction, Chan et al.).
+// No production path uses it since the experiment sweeps moved to
+// iteration-ordered folds (worker-count-exact figures); it is kept, tested,
+// for consumers whose statistic need not be bitwise reproducible.
 func (a *Accumulator) Merge(b *Accumulator) {
 	if b.n == 0 {
 		return
