@@ -6,12 +6,13 @@
 // studies. Quality metrics (mean makespans, hit counts) are attached via
 // b.ReportMetric so the paper's orderings are visible straight from the
 // bench output.
-package gridbcast
+package gridbcast_test
 
 import (
 	"fmt"
 	"testing"
 
+	gridbcast "gridbcast"
 	"gridbcast/internal/collective"
 	"gridbcast/internal/experiment"
 	"gridbcast/internal/intracluster"
@@ -468,6 +469,74 @@ func BenchmarkSegmentedEngine(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPoolSegmentedReuse measures repeated pooled segmented schedule
+// construction on one platform (16 MB in 128 KB segments, Mixed) — the
+// setup path the EnginePool's per-matrix-identity Gs/Wl transpose cache
+// targets; see EXPERIMENTS.md for the before/after numbers.
+func BenchmarkPoolSegmentedReuse(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := topology.RandomSizedGrid(stats.NewRand(1), n)
+		sp := sched.MustSegmentedProblem(g, 0, 16<<20, 128<<10, sched.Options{Overlap: true})
+		ep := sched.NewEnginePool()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ep.ScheduleSegmented(sched.Mixed{}, sp)
+			}
+		})
+	}
+}
+
+// BenchmarkSessionPlan measures the Session serving path: repeated plans on
+// one warmed platform, the many-roots/many-sizes scenario the unified API
+// exists for. The pipelined variant runs the whole segment-size ladder
+// through the pooled engines per op.
+func BenchmarkSessionPlan(b *testing.B) {
+	g := topology.RandomSizedGrid(stats.NewRand(1), 64)
+	sess, err := gridbcast.NewSession(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("predict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Plan(gridbcast.NewRequest(
+				gridbcast.WithHeuristic(gridbcast.ECEFLAT),
+				gridbcast.WithRoot(i%g.N()), gridbcast.WithSize(1<<20))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("best-of", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Plan(gridbcast.NewRequest(
+				gridbcast.WithRoot(i%g.N()), gridbcast.WithSize(1<<20))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Plan(gridbcast.NewRequest(
+				gridbcast.WithHeuristic(gridbcast.Mixed),
+				gridbcast.WithRoot(i%g.N()), gridbcast.WithSize(16<<20),
+				gridbcast.WithPipelined())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-16roots", func(b *testing.B) {
+		reqs := make([]gridbcast.Request, 16)
+		for r := range reqs {
+			reqs[r] = gridbcast.NewRequest(gridbcast.WithHeuristic(gridbcast.ECEFLAT),
+				gridbcast.WithRoot(r%g.N()), gridbcast.WithSize(1<<20))
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.PlanBatch(reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimKernel measures raw event throughput of the discrete-event

@@ -1,0 +1,234 @@
+// Command apicheck prints a stable snapshot of a package's exported API —
+// every exported constant, variable, type (unexported fields and interface
+// methods elided) and function/method signature, sorted — so facade changes
+// are reviewed deliberately: CI regenerates the snapshot and diffs it
+// against the committed API_SNAPSHOT.txt.
+//
+// Usage:
+//
+//	apicheck [-dir .]                   # print the snapshot to stdout
+//	apicheck [-dir .] -check API.txt    # diff against a committed snapshot
+//
+// The output format is produced by go/printer over the pruned AST, so it is
+// stable across Go releases (unlike `go doc -all`, whose layout is not).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", ".", "package directory to snapshot")
+		check = flag.String("check", "", "committed snapshot to diff against (exit 1 on mismatch)")
+	)
+	flag.Parse()
+
+	snap, err := Snapshot(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if *check == "" {
+		fmt.Print(snap)
+		return
+	}
+	want, err := os.ReadFile(*check)
+	if err != nil {
+		fatal(err)
+	}
+	if string(want) == snap {
+		fmt.Printf("apicheck: exported API matches %s\n", *check)
+		return
+	}
+	fmt.Printf("apicheck: exported API differs from %s:\n\n", *check)
+	printDiff(string(want), snap)
+	fmt.Printf("\nregenerate with `go run ./cmd/apicheck -dir %s > %s` and review the change deliberately\n", *dir, *check)
+	os.Exit(1)
+}
+
+// Snapshot renders the exported API of the package in dir (test files are
+// skipped) as one declaration block per exported name, sorted.
+func Snapshot(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	var decls []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		for _, d := range f.Decls {
+			decls = append(decls, exportedDecls(fset, d)...)
+		}
+	}
+	sort.Strings(decls)
+	var b strings.Builder
+	for _, d := range decls {
+		b.WriteString(d)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// exportedDecls renders the exported parts of one top-level declaration.
+func exportedDecls(fset *token.FileSet, d ast.Decl) []string {
+	switch decl := d.(type) {
+	case *ast.FuncDecl:
+		if !decl.Name.IsExported() || !exportedRecv(decl.Recv) {
+			return nil
+		}
+		fn := *decl
+		fn.Doc, fn.Body = nil, nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range decl.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				cp.Type = pruneType(sp.Type)
+				out = append(out, render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&cp}}))
+			case *ast.ValueSpec:
+				// A spec may mix exported and unexported names; snapshot the
+				// exported ones with the shared type (values are
+				// implementation, not API surface).
+				for _, n := range sp.Names {
+					if !n.IsExported() {
+						continue
+					}
+					one := &ast.ValueSpec{Names: []*ast.Ident{n}, Type: sp.Type}
+					out = append(out, render(fset, &ast.GenDecl{Tok: decl.Tok, Specs: []ast.Spec{one}}))
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method receiver (nil for plain functions)
+// names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// pruneType strips unexported struct fields and interface methods, the
+// parts of a type that are not API.
+func pruneType(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		cp := *tt
+		cp.Fields = pruneFields(tt.Fields)
+		return &cp
+	case *ast.InterfaceType:
+		cp := *tt
+		cp.Methods = pruneFields(tt.Methods)
+		return &cp
+	}
+	return t
+}
+
+// pruneFields keeps the exported entries of a field list (embedded entries
+// always kept: their exported members surface through the embedding), and
+// strips docs and comments.
+func pruneFields(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(f.Names) > 0 && len(names) == 0 {
+			continue
+		}
+		cp := *f
+		cp.Doc, cp.Comment = nil, nil
+		cp.Names = names
+		out.List = append(out.List, &cp)
+	}
+	return out
+}
+
+// render prints a node on one logical block with normalized whitespace.
+func render(fset *token.FileSet, node any) string {
+	var b strings.Builder
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&b, fset, node); err != nil {
+		fatal(err)
+	}
+	// Collapse the printer's line breaks so every declaration is one
+	// snapshot line (struct/interface bodies stay readable via "; ").
+	s := b.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.Join(strings.Fields(s), " ")
+	return s
+}
+
+// printDiff emits a minimal line diff (removed lines prefixed -, added +).
+func printDiff(want, got string) {
+	wantLines := strings.Split(strings.TrimSuffix(want, "\n"), "\n")
+	gotLines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	inWant := map[string]bool{}
+	for _, l := range wantLines {
+		inWant[l] = true
+	}
+	inGot := map[string]bool{}
+	for _, l := range gotLines {
+		inGot[l] = true
+	}
+	for _, l := range wantLines {
+		if !inGot[l] {
+			fmt.Printf("- %s\n", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !inWant[l] {
+			fmt.Printf("+ %s\n", l)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apicheck:", err)
+	os.Exit(1)
+}

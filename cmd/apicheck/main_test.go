@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixture(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotExportedSurface(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "a.go", `package demo
+
+// Exported is documented.
+type Exported struct {
+	// Field doc.
+	Field  int
+	hidden string
+}
+
+type hidden struct{ X int }
+
+// F is a function.
+func F(x int) (string, error) { return "", nil }
+
+func (e *Exported) Method() int { return e.Field }
+
+func (h hidden) Method() int { return 0 }
+
+func g() {}
+
+const (
+	A = iota
+	b
+)
+
+var V, w = 1, 2
+`)
+	writeFixture(t, dir, "a_test.go", `package demo
+
+func TestOnly() {}
+`)
+	snap, err := Snapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []string{
+		"const A",
+		"func (e *Exported) Method() int",
+		"func F(x int) (string, error)",
+		"type Exported struct { Field int }",
+		"var V",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(snap, w+"\n") {
+			t.Errorf("snapshot missing %q:\n%s", w, snap)
+		}
+	}
+	for _, absent := range []string{"hidden", "func g", "TestOnly", "const b", "var w"} {
+		if strings.Contains(snap, absent) {
+			t.Errorf("snapshot leaks %q:\n%s", absent, snap)
+		}
+	}
+
+	// Deterministic: a second pass renders byte-identical output.
+	again, err := Snapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != again {
+		t.Error("snapshot not deterministic")
+	}
+}
+
+func TestSnapshotRealPackage(t *testing.T) {
+	snap, err := Snapshot("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func NewSession(g *Grid) (*Session, error)",
+		"func (s *Session) Plan(req Request) (*Plan, error)",
+		"func WithHeuristic(h Heuristic) Option",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("root-package snapshot missing %q", want)
+		}
+	}
+}

@@ -1,24 +1,25 @@
 // Command gridbcast schedules one broadcast on a grid platform and prints
 // the schedule, an ASCII Gantt chart and the predicted vs simulated
-// makespans.
+// makespans, through the facade's Session/Request/Plan API.
 //
 // Usage:
 //
 //	gridbcast [-grid file.json] [-heuristic ECEF-LAT] [-root 0]
-//	          [-size 1048576] [-all] [-gantt] [-csv]
+//	          [-size 1048576] [-best] [-all] [-gantt] [-csv]
 //
 // Without -grid it uses the paper's 88-machine GRID5000 platform (Table 3).
-// With -all it compares every heuristic instead of printing one schedule.
+// With -best the heuristic is chosen by predicted makespan (the candidate
+// table is printed); with -all it compares every heuristic instead of
+// printing one schedule.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"gridbcast/internal/mpi"
-	"gridbcast/internal/sched"
-	"gridbcast/internal/topology"
+	gridbcast "gridbcast"
 	"gridbcast/internal/trace"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		heuristic = flag.String("heuristic", "ECEF-LAT", "scheduling heuristic (see -list)")
 		root      = flag.Int("root", 0, "root cluster index")
 		size      = flag.Int64("size", 1<<20, "message size in bytes")
+		best      = flag.Bool("best", false, "pick the heuristic by predicted makespan")
 		all       = flag.Bool("all", false, "compare every heuristic")
 		gantt     = flag.Bool("gantt", true, "print an ASCII Gantt chart")
 		csvOut    = flag.Bool("csv", false, "print the schedule as CSV instead of a table")
@@ -36,70 +38,92 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, h := range append(sched.Paper(), sched.Mixed{}, sched.FEF{Weight: sched.WeightFull}) {
-			fmt.Println(h.Name())
+		for _, name := range gridbcast.HeuristicNames() {
+			fmt.Println(name)
 		}
 		return
 	}
 
-	g := topology.Grid5000()
+	g := gridbcast.Grid5000()
 	if *gridPath != "" {
 		var err error
-		g, err = topology.LoadFile(*gridPath)
+		g, err = gridbcast.LoadGrid(*gridPath)
 		if err != nil {
 			fatal(err)
 		}
 	}
-
-	if *all {
-		compareAll(g, *root, *size)
-		return
-	}
-
-	h, ok := sched.ByName(*heuristic)
-	if !ok {
-		fatal(fmt.Errorf("unknown heuristic %q (try -list)", *heuristic))
-	}
-	p, err := sched.NewProblem(g, *root, *size, sched.Options{})
+	sess, err := gridbcast.NewSession(g)
 	if err != nil {
 		fatal(err)
 	}
-	sc := h.Schedule(p)
+
+	if *all {
+		compareAll(sess, *root, *size)
+		return
+	}
+
+	if *best {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "heuristic" {
+				fatal(fmt.Errorf("-best and -heuristic are mutually exclusive"))
+			}
+		})
+	}
+	opts := []gridbcast.Option{gridbcast.WithRoot(*root), gridbcast.WithSize(*size)}
+	if !*best {
+		h, err := gridbcast.ParseHeuristic(*heuristic)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, gridbcast.WithHeuristic(h))
+	}
+	plan, err := sess.Plan(gridbcast.NewRequest(opts...))
+	if err != nil {
+		fatal(err)
+	}
+	// The candidate table goes to stderr so -csv keeps stdout machine-readable.
+	if *best {
+		fmt.Fprintf(os.Stderr, "best heuristic: %s (of %d candidates)\n", plan.Heuristic, len(plan.Candidates))
+		for _, c := range plan.Candidates {
+			fmt.Fprintf(os.Stderr, "  %-14s %11.4fs\n", c.Heuristic, c.Makespan)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	if *csvOut {
-		if err := trace.WriteCSV(os.Stdout, sc); err != nil {
+		if err := trace.WriteCSV(os.Stdout, plan.Schedule); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	fmt.Print(trace.Table(sc, g))
+	fmt.Print(trace.Table(plan.Schedule, g))
 	if *gantt {
 		fmt.Println()
-		fmt.Print(trace.Gantt(sc, g, 72))
+		fmt.Print(trace.Gantt(plan.Schedule, g, 72))
 	}
-	res, err := mpi.ExecuteSchedule(g, sc, *size, mpi.Options{})
+	res, err := sess.Execute(plan)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\npredicted makespan: %.4fs   simulated makespan: %.4fs   messages: %d\n",
-		sc.Makespan, res.Makespan, res.Messages)
+		plan.Makespan, res.Makespan, res.Messages)
 }
 
-func compareAll(g *topology.Grid, root int, size int64) {
-	p, err := sched.NewProblem(g, root, size, sched.Options{})
-	if err != nil {
-		fatal(err)
-	}
+func compareAll(sess *gridbcast.Session, root int, size int64) {
 	fmt.Printf("%-14s %12s %12s\n", "heuristic", "predicted", "simulated")
-	for _, h := range sched.Paper() {
-		sc := h.Schedule(p)
-		res, err := mpi.ExecuteSchedule(g, sc, size, mpi.Options{})
+	for _, h := range gridbcast.Heuristics() {
+		plan, err := sess.Plan(gridbcast.NewRequest(
+			gridbcast.WithHeuristic(h), gridbcast.WithRoot(root), gridbcast.WithSize(size)))
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-14s %11.4fs %11.4fs\n", h.Name(), sc.Makespan, res.Makespan)
+		res, err := sess.Execute(plan)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s %11.4fs %11.4fs\n", plan.Heuristic, plan.Makespan, res.Makespan)
 	}
-	res, err := mpi.ExecuteBinomialGridUnaware(g, root, size, mpi.Options{})
+	res, err := sess.ExecuteBinomial(root, size)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,6 +131,7 @@ func compareAll(g *topology.Grid, root int, size int64) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gridbcast:", err)
+	// The facade's errors already carry the package prefix.
+	fmt.Fprintln(os.Stderr, "gridbcast:", strings.TrimPrefix(err.Error(), "gridbcast: "))
 	os.Exit(1)
 }

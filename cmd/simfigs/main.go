@@ -22,24 +22,35 @@ import (
 	"path/filepath"
 	"strconv"
 
+	gridbcast "gridbcast"
 	"gridbcast/internal/experiment"
 	"gridbcast/internal/vnet"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 1..8 or 'all'")
-		table  = flag.Int("table", 0, "table to regenerate: 3")
-		iters  = flag.Int("iters", 10000, "Monte-Carlo iterations (figures 1-4 and 8)")
-		scanW  = flag.Int("scan-workers", 0, "per-construction scan workers (sched.ParallelBuild); 0/1 = sequential engine, figures are identical either way")
-		segN   = flag.Int("segclusters", 10, "cluster count for the random segment sweep (figure 8)")
-		seed   = flag.Int64("seed", 42, "random seed")
-		outDir = flag.String("out", "results", "output directory for .dat/.csv files")
-		plot   = flag.Bool("plot", false, "also print ASCII plots")
-		jitter = flag.Float64("jitter", 0, "network jitter for figure 6 and table 3 (e.g. 0.03)")
-		rho    = flag.Float64("rho", 0.3, "clustering tolerance for table 3")
+		fig      = flag.String("fig", "", "figure to regenerate: 1..8 or 'all'")
+		table    = flag.Int("table", 0, "table to regenerate: 3")
+		iters    = flag.Int("iters", 10000, "Monte-Carlo iterations (figures 1-4 and 8)")
+		scanW    = flag.Int("scan-workers", 0, "per-construction scan workers (the Session API's WithScanWorkers); 0/1 = sequential engine, figures are identical either way")
+		segN     = flag.Int("segclusters", 10, "cluster count for the random segment sweep (figure 8)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		outDir   = flag.String("out", "results", "output directory for .dat/.csv files")
+		plot     = flag.Bool("plot", false, "also print ASCII plots")
+		jitter   = flag.Float64("jitter", 0, "network jitter for figure 6 and table 3 (e.g. 0.03)")
+		rho      = flag.Float64("rho", 0.3, "clustering tolerance for table 3")
+		gridPath = flag.String("grid", "", "platform JSON for the fixed-platform figures 5-7 (default: built-in GRID5000)")
 	)
 	flag.Parse()
+
+	var fixedGrid *gridbcast.Grid // nil → the figures' built-in default
+	if *gridPath != "" {
+		var err error
+		fixedGrid, err = gridbcast.LoadGrid(*gridPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	if *fig == "" && *table == 0 {
 		flag.Usage()
@@ -61,7 +72,8 @@ func main() {
 
 	mc := experiment.MonteCarlo{Iterations: *iters, Seed: *seed, ScanWorkers: *scanW}
 	practical := experiment.PracticalConfig{
-		Net: vnet.Config{Jitter: *jitter, Seed: *seed},
+		Grid: fixedGrid,
+		Net:  vnet.Config{Jitter: *jitter, Seed: *seed},
 	}
 
 	figs := map[string]func() (*experiment.Figure, error){
@@ -69,9 +81,13 @@ func main() {
 		"2": func() (*experiment.Figure, error) { return mc.Fig2(), nil },
 		"3": func() (*experiment.Figure, error) { return mc.Fig3(), nil },
 		"4": func() (*experiment.Figure, error) { return mc.Fig4(), nil },
-		"5": func() (*experiment.Figure, error) { return experiment.Fig5(experiment.PracticalConfig{}) },
+		"5": func() (*experiment.Figure, error) {
+			return experiment.Fig5(experiment.PracticalConfig{Grid: fixedGrid})
+		},
 		"6": func() (*experiment.Figure, error) { return experiment.Fig6(practical) },
-		"7": func() (*experiment.Figure, error) { return experiment.FigSegments(experiment.SegmentSweep{}) },
+		"7": func() (*experiment.Figure, error) {
+			return experiment.FigSegments(experiment.SegmentSweep{Grid: fixedGrid})
+		},
 		"8": func() (*experiment.Figure, error) { return mc.FigSegmentsRandom(*segN, nil, nil), nil },
 	}
 

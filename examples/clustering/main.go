@@ -41,11 +41,15 @@ func main() {
 	fmt.Println()
 	fmt.Print(res.Render())
 
-	// Schedule on the recovered platform.
-	g := gridbcast.Grid5000()
-	sc, err := gridbcast.Predict(g, 0, 1<<20, "ECEF-LAT")
+	// Schedule on the recovered platform through a Session.
+	sess, err := gridbcast.NewSession(gridbcast.Grid5000())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nbroadcast on the recovered platform: %.4fs with %s\n", sc.Makespan, sc.Heuristic)
+	plan, err := sess.Plan(gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT), gridbcast.WithSize(1<<20)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbroadcast on the recovered platform: %.4fs with %s\n", plan.Makespan, plan.Heuristic)
 }

@@ -8,13 +8,13 @@ import (
 	"fmt"
 	"log"
 
+	gridbcast "gridbcast"
 	"gridbcast/internal/collective"
-	"gridbcast/internal/topology"
 	"gridbcast/internal/vnet"
 )
 
 func main() {
-	g := topology.Grid5000()
+	g := gridbcast.Grid5000()
 	const block = 64 << 10 // 64 KB per destination process
 
 	plan, err := collective.NewPlan(g, 0, block)

@@ -2,7 +2,8 @@
 // platform: for a sweep of message sizes it prints the predicted (Figure 5)
 // and measured (Figure 6) completion time of every heuristic, plus the
 // grid-unaware "default MPI" binomial, with 3% network jitter on the
-// measured runs to mimic a real testbed.
+// measured runs to mimic a real testbed. One Session serves the whole
+// sweep: its cost caches and pooled engines warm up on the first plan.
 package main
 
 import (
@@ -14,39 +15,45 @@ import (
 
 func main() {
 	g := gridbcast.Grid5000()
+	sess, err := gridbcast.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sizes := []int64{256 << 10, 1 << 20, 2 << 20, 4 << 20}
-	names := []string{"FlatTree", "FEF", "ECEF", "ECEF-LA", "ECEF-LAt", "ECEF-LAT", "BottomUp"}
 	jitter := gridbcast.NetConfig{Jitter: 0.03, Seed: 7}
 
 	fmt.Println("measured (3% jitter) vs predicted completion time, 88-machine grid")
 	fmt.Printf("%-12s", "size")
-	for _, n := range names {
-		fmt.Printf(" %12s", n)
+	for _, h := range gridbcast.Heuristics() {
+		fmt.Printf(" %12s", h.Name())
 	}
 	fmt.Printf(" %12s\n", "Default LAM")
 
 	for _, m := range sizes {
 		fmt.Printf("%-12s", fmtSize(m))
-		for _, n := range names {
-			res, err := gridbcast.Simulate(g, 0, m, n, jitter)
+		plans := make([]*gridbcast.Plan, 0, len(gridbcast.Heuristics()))
+		for _, h := range gridbcast.Heuristics() {
+			plan, err := sess.Plan(gridbcast.NewRequest(
+				gridbcast.WithHeuristic(h), gridbcast.WithSize(m), gridbcast.WithNet(jitter)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			plans = append(plans, plan)
+			res, err := sess.Execute(plan)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf(" %11.3fs", res.Makespan)
 		}
-		lam, err := gridbcast.SimulateBinomial(g, 0, m, jitter)
+		lam, err := sess.ExecuteBinomial(0, m, jitter)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf(" %11.3fs\n", lam.Makespan)
 
 		fmt.Printf("%-12s", "  predicted")
-		for _, n := range names {
-			sc, err := gridbcast.Predict(g, 0, m, n)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf(" %11.3fs", sc.Makespan)
+		for _, plan := range plans {
+			fmt.Printf(" %11.3fs", plan.Makespan)
 		}
 		fmt.Printf(" %12s\n", "-")
 	}
@@ -54,11 +61,15 @@ func main() {
 	// The paper's headline: at 4 MB the schedule-based heuristics finish
 	// several times earlier than the flat tree, and even beat the
 	// cluster-oblivious binomial tree MPI uses by default.
-	best, err := gridbcast.Best(g, 0, 4<<20)
+	best, err := sess.Plan(gridbcast.NewRequest(gridbcast.WithSize(4 << 20)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	flat, _ := gridbcast.Predict(g, 0, 4<<20, "FlatTree")
+	flat, err := sess.Plan(gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.FlatTree), gridbcast.WithSize(4<<20)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nat 4 MB: best schedule (%s) %.3fs, flat tree %.3fs — %.1fx speed-up\n",
 		best.Heuristic, best.Makespan, flat.Makespan, flat.Makespan/best.Makespan)
 }

@@ -2,21 +2,22 @@
 // scheduling heuristic from the platform size. Performance-oriented
 // lookahead (ECEF-LA) wins on small grids; on large grids ECEF-LAT, which
 // serves slow clusters first and relies on communication overlap, keeps a
-// constant probability of producing the best schedule.
+// constant probability of producing the best schedule. Each trial plans the
+// whole heuristic family through one Session.PlanBatch call.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	gridbcast "gridbcast"
-	"gridbcast/internal/sched"
 	"gridbcast/internal/stats"
 	"gridbcast/internal/topology"
 )
 
 func main() {
 	family := []gridbcast.Heuristic{
-		sched.ECEF(), sched.ECEFLA(), sched.ECEFLAt(), sched.ECEFLAT(), sched.Mixed{},
+		gridbcast.ECEF, gridbcast.ECEFLA, gridbcast.ECEFLAt, gridbcast.ECEFLAT, gridbcast.Mixed,
 	}
 	const trials = 400
 
@@ -31,18 +32,29 @@ func main() {
 		wins := make([]int, len(family))
 		for trial := 0; trial < trials; trial++ {
 			r := stats.NewRand(stats.SplitSeed(99, int64(trial*100+n)))
-			g := topology.RandomGrid(r, n)
-			p := sched.MustProblem(g, 0, 1<<20, sched.Options{Overlap: true})
-			spans := make([]float64, len(family))
-			best := 0.0
+			sess, err := gridbcast.NewSession(topology.RandomGrid(r, n))
+			if err != nil {
+				log.Fatal(err)
+			}
+			reqs := make([]gridbcast.Request, len(family))
 			for i, h := range family {
-				spans[i] = h.Schedule(p).Makespan
-				if i == 0 || spans[i] < best {
-					best = spans[i]
+				reqs[i] = gridbcast.NewRequest(
+					gridbcast.WithHeuristic(h),
+					gridbcast.WithSize(1<<20),
+					gridbcast.WithOverlap(true))
+			}
+			plans, err := sess.PlanBatch(reqs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := 0.0
+			for i, plan := range plans {
+				if i == 0 || plan.Makespan < best {
+					best = plan.Makespan
 				}
 			}
-			for i := range family {
-				if spans[i] <= best+1e-9 {
+			for i, plan := range plans {
+				if plan.Makespan <= best+1e-9 {
 					wins[i]++
 				}
 			}

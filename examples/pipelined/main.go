@@ -4,7 +4,8 @@
 // The paper's model sends each message in one piece, so a 16 MB broadcast
 // from Orsay must finish the Orsay→Toulouse transfer before Toulouse can
 // start feeding IDPOT. The segmented extension (DESIGN.md §7) streams the
-// message through that path segment by segment instead.
+// message through that path segment by segment instead; the Session API
+// exposes it through the WithSegments and WithPipelined request options.
 package main
 
 import (
@@ -16,45 +17,52 @@ import (
 
 func main() {
 	g := gridbcast.Grid5000()
+	sess, err := gridbcast.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	const m = 16 << 20
 	fmt.Printf("platform: %d clusters, %d machines; broadcast: %d MB from %s\n",
 		g.N(), g.TotalNodes(), m>>20, g.Clusters[0].Name)
 
-	// The unsegmented baselines: every heuristic of the paper.
+	// The unsegmented baselines: every heuristic of the paper, in one
+	// best-of plan (the candidate table is the legend of Figure 1).
 	fmt.Println("\nunsegmented (single-message rounds):")
-	bestUnseg := 0.0
-	for _, name := range []string{"FlatTree", "FEF", "ECEF", "ECEF-LA", "ECEF-LAt", "ECEF-LAT", "BottomUp"} {
-		sc, err := gridbcast.Predict(g, 0, m, name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if bestUnseg == 0 || sc.Makespan < bestUnseg {
-			bestUnseg = sc.Makespan
-		}
-		fmt.Printf("  %-9s %7.3fs\n", sc.Heuristic, sc.Makespan)
+	unseg, err := sess.Plan(gridbcast.NewRequest(gridbcast.WithSize(m)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range unseg.Candidates {
+		fmt.Printf("  %-9s %7.3fs\n", c.Heuristic, c.Makespan)
 	}
 
 	// The segment-size ladder for the Mixed strategy.
 	fmt.Println("\nsegmented (Mixed, fixed segment sizes):")
 	for _, segSize := range []int64{4 << 20, 1 << 20, 256 << 10, 64 << 10, 16 << 10} {
-		ss, err := gridbcast.PredictSegmented(g, 0, m, segSize, "Mixed")
+		plan, err := sess.Plan(gridbcast.NewRequest(
+			gridbcast.WithHeuristic(gridbcast.Mixed),
+			gridbcast.WithSize(m),
+			gridbcast.WithSegments(segSize)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %6d KB x %4d segments: %7.3fs\n", segSize>>10, ss.K, ss.Makespan)
+		fmt.Printf("  %6d KB x %4d segments: %7.3fs\n", segSize>>10, plan.K, plan.Makespan)
 	}
 
 	// Ladder search: never worse than unsegmented, and on this platform far
 	// better for large messages.
-	best, err := gridbcast.PredictPipelined(g, 0, m, "Mixed")
+	best, err := sess.Plan(gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.Mixed),
+		gridbcast.WithSize(m),
+		gridbcast.WithPipelined()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nbest: %s with %d KB segments (K=%d), predicted %.3fs — %.1fx faster than the best unsegmented heuristic\n",
-		best.Heuristic, best.SegSize>>10, best.K, best.Makespan, bestUnseg/best.Makespan)
+		best.Heuristic, best.SegSize>>10, best.K, best.Makespan, unseg.Makespan/best.Makespan)
 
 	// Execute the winning schedule segment-by-segment on the virtual grid.
-	res, err := gridbcast.SimulateSegmented(g, best)
+	res, err := sess.Execute(best)
 	if err != nil {
 		log.Fatal(err)
 	}

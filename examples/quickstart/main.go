@@ -1,5 +1,5 @@
-// Quickstart: describe a platform, schedule a broadcast, compare the
-// predicted makespan with a message-level simulation.
+// Quickstart: describe a platform, open a Session on it, plan a broadcast,
+// compare the predicted makespan with a message-level simulation.
 package main
 
 import (
@@ -15,35 +15,56 @@ func main() {
 	g := gridbcast.Grid5000()
 	fmt.Printf("platform: %d clusters, %d machines\n", g.N(), g.TotalNodes())
 
-	// Broadcast 1 MB from cluster 0 with the paper's ECEF-LAT heuristic.
-	sc, err := gridbcast.Predict(g, 0, 1<<20, "ECEF-LAT")
+	// A Session wraps the validated platform with its cost caches and
+	// pooled scheduling engines; it is safe for concurrent use.
+	sess, err := gridbcast.NewSession(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n%s schedule (%d wide-area transmissions):\n", sc.Heuristic, len(sc.Events))
+
+	// Broadcast 1 MB from cluster 0 with the paper's ECEF-LAT heuristic.
+	plan, err := sess.Plan(gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT),
+		gridbcast.WithRoot(0),
+		gridbcast.WithSize(1<<20)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := plan.Schedule
+	fmt.Printf("\n%s schedule (%d wide-area transmissions):\n", plan.Heuristic, len(sc.Events))
 	for _, e := range sc.Events {
 		fmt.Printf("  round %d: %s -> %s  (start %.3fs, arrives %.3fs)\n",
 			e.Round, g.Clusters[e.From].Name, g.Clusters[e.To].Name, e.Start, e.Arrive)
 	}
-	fmt.Printf("predicted makespan: %.4fs\n", sc.Makespan)
+	fmt.Printf("predicted makespan: %.4fs\n", plan.Makespan)
 
 	// Execute the same broadcast message-by-message on the virtual grid.
-	res, err := gridbcast.Simulate(g, 0, 1<<20, "ECEF-LAT")
+	res, err := sess.Execute(plan)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulated makespan: %.4fs (%d messages, %d bytes on the wire)\n",
 		res.Makespan, res.Messages, res.Bytes)
 
+	// Leave the heuristic out and Plan picks the best one, recording every
+	// candidate's predicted makespan.
+	best, err := sess.Plan(gridbcast.NewRequest(gridbcast.WithSize(1 << 20)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest heuristic: %s (%.4fs) of %d candidates\n",
+		best.Heuristic, best.Makespan, len(best.Candidates))
+
 	// Compare with the naive flat tree and the grid-unaware binomial.
-	flat, err := gridbcast.Predict(g, 0, 1<<20, "FlatTree")
+	flat, err := sess.Plan(gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.FlatTree), gridbcast.WithSize(1<<20)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	lam, err := gridbcast.SimulateBinomial(g, 0, 1<<20)
+	lam, err := sess.ExecuteBinomial(0, 1<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nFlatTree:    %.4fs (%.1fx slower)\n", flat.Makespan, flat.Makespan/sc.Makespan)
-	fmt.Printf("Default MPI: %.4fs (%.1fx slower)\n", lam.Makespan, lam.Makespan/sc.Makespan)
+	fmt.Printf("\nFlatTree:    %.4fs (%.1fx slower)\n", flat.Makespan, flat.Makespan/plan.Makespan)
+	fmt.Printf("Default MPI: %.4fs (%.1fx slower)\n", lam.Makespan, lam.Makespan/plan.Makespan)
 }

@@ -15,18 +15,37 @@
 //   - regenerate every figure and table of the paper's evaluation
 //     (internal/experiment, cmd/simfigs).
 //
+// The public API is the Session/Request/Plan triple: a Session wraps one
+// validated platform (with its cost caches and pooled scheduling engines)
+// and is safe for concurrent use; a Request composes what to plan from
+// functional options; a Plan holds the schedule, its predicted makespan and
+// how it was chosen, ready for Session.Execute.
+//
 // Quick start:
 //
 //	g := gridbcast.Grid5000()
-//	sc, err := gridbcast.Predict(g, 0, 1<<20, "ECEF-LAT")
-//	res, err := gridbcast.Simulate(g, 0, 1<<20, "ECEF-LAT")
-//	fmt.Println(sc.Makespan, res.Makespan)
+//	sess, err := gridbcast.NewSession(g)
+//	plan, err := sess.Plan(gridbcast.NewRequest(
+//		gridbcast.WithHeuristic(gridbcast.ECEFLAT),
+//		gridbcast.WithSize(1<<20)))
+//	res, err := sess.Execute(plan)
+//	fmt.Println(plan.Makespan, res.Makespan)
+//
+// Omit WithHeuristic to let Plan pick the best paper heuristic (the winner
+// and every candidate's makespan end up in the Plan); add WithSegments or
+// WithPipelined for the large-message pipelined workload, WithRefine for
+// local-search improvement, WithScanWorkers to parallelise construction on
+// large platforms, and WithContext to make long searches cancellable.
+// Session.PlanBatch fans independent requests across the engine pool with
+// deterministic results at any worker count.
+//
+// The per-call functions below (Predict, Simulate, Best, ...) predate the
+// Session API and remain as thin deprecated wrappers over it.
 package gridbcast
 
 import (
-	"fmt"
+	"context"
 
-	"gridbcast/internal/intracluster"
 	"gridbcast/internal/mpi"
 	"gridbcast/internal/sched"
 	"gridbcast/internal/stats"
@@ -45,7 +64,7 @@ type (
 	Schedule = sched.Schedule
 	// Result is a measured (simulated) execution outcome.
 	Result = mpi.Result
-	// NetConfig tunes the virtual network used by Simulate (jitter,
+	// NetConfig tunes the virtual network used by Session.Execute (jitter,
 	// per-message software overhead).
 	NetConfig = vnet.Config
 	// Heuristic is a named scheduling policy.
@@ -69,34 +88,26 @@ func RandomGrid(seed int64, n int) *Grid {
 // LoadGrid reads a platform from a JSON file (see Grid.SaveFile).
 func LoadGrid(path string) (*Grid, error) { return topology.LoadFile(path) }
 
-// Heuristics returns the scheduling heuristics compared in the paper, in
-// its legend order.
-func Heuristics() []Heuristic { return sched.Paper() }
-
-// HeuristicNames lists every heuristic name accepted by Predict/Simulate,
-// including the Mixed adaptive strategy and the FEF weight ablation.
-func HeuristicNames() []string {
-	all := append(sched.Paper(), sched.Mixed{}, sched.FEF{Weight: sched.WeightFull})
-	names := make([]string, len(all))
-	for i, h := range all {
-		names[i] = h.Name()
-	}
-	return names
-}
+// ---------------------------------------------------------------------------
+// Legacy per-call API: thin wrappers over a Session. Every wrapper returns
+// results bit-identical to the equivalent Session calls (pinned by the
+// equivalence tests in session_test.go).
 
 // Predict schedules a broadcast of size bytes from cluster root using the
 // named heuristic and returns the schedule with its analytic (predicted)
 // timing.
+//
+// Deprecated: use Session.Plan with WithHeuristic.
 func Predict(g *Grid, root int, size int64, heuristic string) (*Schedule, error) {
-	h, ok := sched.ByName(heuristic)
-	if !ok {
-		return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", heuristic, HeuristicNames())
-	}
-	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	h, err := ParseHeuristic(heuristic)
 	if err != nil {
 		return nil, err
 	}
-	return h.Schedule(p), nil
+	plan, err := plan(g, WithHeuristic(h), WithRoot(root), WithSize(size))
+	if err != nil {
+		return nil, err
+	}
+	return plan.Schedule, nil
 }
 
 // PredictParallel is Predict with the schedule construction itself
@@ -104,16 +115,18 @@ func Predict(g *Grid, root int, size int64, heuristic string) (*Schedule, error)
 // workers goroutines (workers <= 0 means GOMAXPROCS). The schedule is
 // bit-identical to Predict's at any worker count — only the construction
 // latency changes, which pays off from a few hundred clusters up.
+//
+// Deprecated: use Session.Plan with WithHeuristic and WithScanWorkers.
 func PredictParallel(g *Grid, root int, size int64, heuristic string, workers int) (*Schedule, error) {
-	h, ok := sched.ByName(heuristic)
-	if !ok {
-		return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", heuristic, HeuristicNames())
-	}
-	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	h, err := ParseHeuristic(heuristic)
 	if err != nil {
 		return nil, err
 	}
-	return sched.ParallelBuild(h, p, workers), nil
+	plan, err := plan(g, WithHeuristic(h), WithRoot(root), WithSize(size), WithScanWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	return plan.Schedule, nil
 }
 
 // Simulate schedules the broadcast like Predict and then executes it
@@ -121,86 +134,124 @@ func PredictParallel(g *Grid, root int, size int64, heuristic string, workers in
 // measured result. Optional NetConfig values add jitter or per-message
 // software overhead; with none, the measured makespan equals the
 // prediction.
+//
+// Deprecated: use Session.Plan followed by Session.Execute.
 func Simulate(g *Grid, root int, size int64, heuristic string, net ...NetConfig) (*Result, error) {
-	sc, err := Predict(g, root, size, heuristic)
+	h, err := ParseHeuristic(heuristic)
 	if err != nil {
 		return nil, err
 	}
-	opt := mpi.Options{IntraShape: intracluster.Binomial}
-	if len(net) > 0 {
-		opt.Net = net[0]
+	sess, err := NewSession(g)
+	if err != nil {
+		return nil, err
 	}
-	return mpi.ExecuteSchedule(g, sc, size, opt)
+	plan, err := sess.Plan(NewRequest(WithHeuristic(h), WithRoot(root), WithSize(size)))
+	if err != nil {
+		return nil, err
+	}
+	return sess.Execute(plan, net...)
 }
 
 // SimulateBinomial executes the grid-unaware binomial broadcast (the
 // "default MPI" baseline of the paper's Figure 6) and returns the measured
 // result.
+//
+// Deprecated: use Session.ExecuteBinomial.
 func SimulateBinomial(g *Grid, root int, size int64, net ...NetConfig) (*Result, error) {
-	var opt mpi.Options
-	if len(net) > 0 {
-		opt.Net = net[0]
+	sess, err := NewSession(g)
+	if err != nil {
+		return nil, err
 	}
-	return mpi.ExecuteBinomialGridUnaware(g, root, size, opt)
+	return sess.ExecuteBinomial(root, size, net...)
 }
 
 // PredictSegmented schedules a pipelined broadcast that splits the message
 // into segSize-byte segments, using the segment-aware variant of the named
 // heuristic (see DESIGN.md §7). segSize >= size reproduces Predict exactly.
+//
+// Deprecated: use Session.Plan with WithHeuristic and WithSegments.
 func PredictSegmented(g *Grid, root int, size, segSize int64, heuristic string) (*SegmentedSchedule, error) {
-	h, ok := sched.ByName(heuristic)
-	if !ok {
-		return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", heuristic, HeuristicNames())
-	}
-	sp, err := sched.NewSegmentedProblem(g, root, size, segSize, sched.Options{})
+	h, err := ParseHeuristic(heuristic)
 	if err != nil {
 		return nil, err
 	}
-	return sched.ScheduleSegmented(h, sp), nil
+	plan, err := plan(g, WithHeuristic(h), WithRoot(root), WithSize(size), WithSegments(segSize))
+	if err != nil {
+		return nil, err
+	}
+	return plan.Segmented, nil
 }
 
 // PredictPipelined picks the best segment size for the broadcast from the
 // default candidate ladder (which always includes "unsegmented", so the
 // result is never worse than Predict). Large messages on multi-hop grids
 // profit the most: downstream forwarding overlaps upstream segments.
+//
+// Deprecated: use Session.Plan with WithHeuristic and WithPipelined.
 func PredictPipelined(g *Grid, root int, size int64, heuristic string) (*SegmentedSchedule, error) {
-	h, ok := sched.ByName(heuristic)
-	if !ok {
-		return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", heuristic, HeuristicNames())
+	h, err := ParseHeuristic(heuristic)
+	if err != nil {
+		return nil, err
 	}
-	return sched.Pipelined{Base: h}.Best(g, root, size, sched.Options{})
+	plan, err := plan(g, WithHeuristic(h), WithRoot(root), WithSize(size), WithPipelined())
+	if err != nil {
+		return nil, err
+	}
+	return plan.Segmented, nil
 }
 
 // SimulateSegmented executes a segmented schedule segment-by-segment on the
 // discrete-event virtual grid. With no NetConfig the measured makespan
 // matches the analytic prediction.
+//
+// Deprecated: use Session.Execute on a Plan built with WithSegments or
+// WithPipelined.
 func SimulateSegmented(g *Grid, ss *SegmentedSchedule, net ...NetConfig) (*Result, error) {
-	opt := mpi.Options{IntraShape: intracluster.Binomial}
-	if len(net) > 0 {
-		opt.Net = net[0]
-	}
-	return mpi.ExecuteSegmentedSchedule(g, ss, opt)
-}
-
-// Best schedules with every paper heuristic and returns the schedule with
-// the smallest predicted makespan.
-func Best(g *Grid, root int, size int64) (*Schedule, error) {
-	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	sess, err := NewSession(g)
 	if err != nil {
 		return nil, err
 	}
-	best, _ := sched.BestOf(sched.Paper(), p)
-	return best, nil
+	return sess.Execute(&Plan{Segmented: ss}, net...)
+}
+
+// Best schedules with every paper heuristic and returns the schedule with
+// the smallest predicted makespan. The winning heuristic's name is in the
+// returned schedule's Heuristic field; callers that also want the losers'
+// makespans should use Session.Plan without WithHeuristic, whose Plan
+// records every candidate in Plan.Candidates.
+//
+// Deprecated: use Session.Plan without WithHeuristic.
+func Best(g *Grid, root int, size int64) (*Schedule, error) {
+	plan, err := plan(g, WithRoot(root), WithSize(size))
+	if err != nil {
+		return nil, err
+	}
+	return plan.Schedule, nil
 }
 
 // Refine improves a Predict-produced schedule by local search (swap and
 // re-sender moves, re-timed through the schedule engine); the result is
 // never worse. This is the repository's step toward the "next-generation
 // optimisation techniques" the paper's conclusion calls for.
+//
+// Deprecated: use Session.Refine, or WithRefine at planning time.
 func Refine(g *Grid, root int, size int64, sc *Schedule) (*Schedule, error) {
-	p, err := sched.NewProblem(g, root, size, sched.Options{})
+	sess, err := NewSession(g)
 	if err != nil {
 		return nil, err
 	}
-	return sched.Refine(p, sc, 0), nil
+	out, err := sess.Refine(context.Background(), &Plan{Root: root, Size: size, Schedule: sc}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return out.Schedule, nil
+}
+
+// plan is the shared one-shot Session helper behind the legacy wrappers.
+func plan(g *Grid, opts ...Option) (*Plan, error) {
+	sess, err := NewSession(g)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Plan(NewRequest(opts...))
 }

@@ -1,8 +1,12 @@
-package gridbcast
+// External test package: the benchmarks import internal/experiment, which
+// itself builds on package gridbcast, so in-package tests would cycle.
+package gridbcast_test
 
 import (
 	"math"
 	"testing"
+
+	. "gridbcast"
 )
 
 func TestPredictAndSimulateAgree(t *testing.T) {

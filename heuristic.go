@@ -1,0 +1,60 @@
+package gridbcast
+
+import (
+	"fmt"
+
+	"gridbcast/internal/sched"
+)
+
+// Typed heuristic selection. Each value is a ready-to-use scheduling policy
+// for Request's WithHeuristic option; all are stateless and safe to share
+// across goroutines. The names match the paper's legends (ParseHeuristic
+// maps the string form back for CLI use).
+var (
+	// FlatTree is the root-sends-to-everyone baseline (§4.1).
+	FlatTree Heuristic = sched.FlatTree{}
+	// FEF is Fastest Edge First with the paper's latency-only edge weight
+	// (§4.2).
+	FEF Heuristic = sched.FEF{}
+	// FEFGapLat is the FEF ablation weighing edges by g(m)+L.
+	FEFGapLat Heuristic = sched.FEF{Weight: sched.WeightFull}
+	// ECEF is Early Completion Edge First (§4.3).
+	ECEF Heuristic = sched.ECEF()
+	// ECEFLA is ECEF with the min-W lookahead (§4.3).
+	ECEFLA Heuristic = sched.ECEFLA()
+	// ECEFLAt is the paper's first grid-aware heuristic (§5.1).
+	ECEFLAt Heuristic = sched.ECEFLAt()
+	// ECEFLAT is the paper's second grid-aware heuristic (§5.2).
+	ECEFLAT Heuristic = sched.ECEFLAT()
+	// BottomUp is the paper's max-min heuristic (§5.3).
+	BottomUp Heuristic = sched.BottomUp{}
+	// Mixed is the paper's closing recommendation (§6): ECEF-LA on small
+	// grids, ECEF-LAT past the threshold.
+	Mixed Heuristic = sched.Mixed{}
+)
+
+// ParseHeuristic resolves a display name ("ECEF-LAT", "Mixed", ...) to its
+// typed heuristic — the CLI-facing counterpart of the exported heuristic
+// values above.
+func ParseHeuristic(name string) (Heuristic, error) {
+	if h, ok := sched.ByName(name); ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("gridbcast: unknown heuristic %q (have %v)", name, HeuristicNames())
+}
+
+// Heuristics returns the scheduling heuristics compared in the paper, in
+// its legend order.
+func Heuristics() []Heuristic { return sched.Paper() }
+
+// HeuristicNames lists every heuristic name accepted by ParseHeuristic (and
+// the legacy Predict/Simulate wrappers), including the Mixed adaptive
+// strategy and the FEF weight ablation.
+func HeuristicNames() []string {
+	all := append(sched.Paper(), sched.Mixed{}, sched.FEF{Weight: sched.WeightFull})
+	names := make([]string, len(all))
+	for i, h := range all {
+		names[i] = h.Name()
+	}
+	return names
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	gridbcast "gridbcast"
 	"gridbcast/internal/clusterer"
-	"gridbcast/internal/mpi"
 	"gridbcast/internal/sched"
 	"gridbcast/internal/stats"
 	"gridbcast/internal/topology"
@@ -63,16 +63,20 @@ func Fig5(cfg PracticalConfig) (*Figure, error) {
 	for hi, h := range hs {
 		fig.Series[hi].Name = h.Name()
 	}
-	ep := sched.NewEnginePool()
+	sess, err := gridbcast.NewSession(g)
+	if err != nil {
+		return nil, err
+	}
 	for _, m := range cfg.sizes() {
-		p, err := sched.NewProblem(g, cfg.Root, m, sched.Options{})
-		if err != nil {
-			return nil, err
-		}
 		for hi, h := range hs {
+			plan, err := sess.Plan(gridbcast.NewRequest(
+				gridbcast.WithHeuristic(h), gridbcast.WithRoot(cfg.Root), gridbcast.WithSize(m)))
+			if err != nil {
+				return nil, err
+			}
 			fig.Series[hi].Points = append(fig.Series[hi].Points, Point{
 				X: float64(m),
-				Y: ep.Schedule(h, p).Makespan,
+				Y: plan.Makespan,
 			})
 		}
 	}
@@ -91,9 +95,13 @@ func Fig6(cfg PracticalConfig) (*Figure, error) {
 		XLabel: "message size (bytes)",
 		YLabel: "completion time (s)",
 	}
+	sess, err := gridbcast.NewSession(g)
+	if err != nil {
+		return nil, err
+	}
 	lam := Series{Name: "Default LAM"}
 	for _, m := range cfg.sizes() {
-		res, err := mpi.ExecuteBinomialGridUnaware(g, cfg.Root, m, mpi.Options{Net: cfg.Net})
+		res, err := sess.ExecuteBinomial(cfg.Root, m, cfg.Net)
 		if err != nil {
 			return nil, err
 		}
@@ -101,15 +109,15 @@ func Fig6(cfg PracticalConfig) (*Figure, error) {
 	}
 	fig.Series = append(fig.Series, lam)
 
-	ep := sched.NewEnginePool()
 	for _, h := range hs {
 		s := Series{Name: h.Name()}
 		for _, m := range cfg.sizes() {
-			p, err := sched.NewProblem(g, cfg.Root, m, sched.Options{})
+			plan, err := sess.Plan(gridbcast.NewRequest(
+				gridbcast.WithHeuristic(h), gridbcast.WithRoot(cfg.Root), gridbcast.WithSize(m)))
 			if err != nil {
 				return nil, err
 			}
-			res, err := mpi.ExecuteSchedule(g, ep.Schedule(h, p), m, mpi.Options{Net: cfg.Net})
+			res, err := sess.Execute(plan, cfg.Net)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	gridbcast "gridbcast"
 	"gridbcast/internal/sched"
 	"gridbcast/internal/stats"
 	"gridbcast/internal/topology"
@@ -30,32 +31,30 @@ type MonteCarlo struct {
 	// Root, when >= 0, fixes the root cluster; -1 draws it uniformly.
 	// Default 0 (the paper broadcasts from a fixed root).
 	Root int
-	// ScanWorkers, when > 1, builds every schedule through
-	// sched.ParallelBuild with that many goroutines per construction — on
-	// top of the per-iteration Workers parallelism. Schedules are
-	// bit-identical either way (ParallelBuild's contract), so figures do
-	// not change; this targets sweeps over cluster counts large enough
-	// that a single construction is the latency unit.
+	// ScanWorkers, when > 1, builds every schedule with the per-round
+	// candidate scans sharded across that many goroutines (the Session
+	// API's WithScanWorkers) — on top of the per-iteration Workers
+	// parallelism. Schedules are bit-identical either way (the parallel
+	// builder's contract), so figures do not change; this targets sweeps
+	// over cluster counts large enough that a single construction is the
+	// latency unit.
 	ScanWorkers int
 }
 
-// schedule builds one schedule the way the configuration asks: through the
-// worker's engine pool (the allocation-free default) or the worker's
-// persistent parallel builder (pb is non-nil iff ScanWorkers > 1).
-func (mc MonteCarlo) schedule(ep *sched.EnginePool, pb *sched.ParallelBuilder, h sched.Heuristic, p *sched.Problem) *sched.Schedule {
-	if pb != nil {
-		return pb.Schedule(h, p)
+// planOptions assembles the request options shared by every sweep plan:
+// the §6 Monte-Carlo setting (overlap completion model) plus the
+// configured construction parallelism.
+func (mc MonteCarlo) planOptions(h sched.Heuristic, root int) []gridbcast.Option {
+	opts := []gridbcast.Option{
+		gridbcast.WithHeuristic(h),
+		gridbcast.WithRoot(root),
+		gridbcast.WithSize(mc.msgSize()),
+		gridbcast.WithOverlap(true),
 	}
-	return ep.Schedule(h, p)
-}
-
-// scanBuilder returns the per-worker parallel builder demanded by the
-// configuration, or nil for the engine-pool default.
-func (mc MonteCarlo) scanBuilder() *sched.ParallelBuilder {
 	if mc.ScanWorkers > 1 {
-		return sched.NewParallelBuilder(mc.ScanWorkers)
+		opts = append(opts, gridbcast.WithScanWorkers(mc.ScanWorkers))
 	}
-	return nil
+	return opts
 }
 
 func (mc MonteCarlo) iterations() int {
@@ -111,20 +110,23 @@ func (mc MonteCarlo) sweepSpans(hs []sched.Heuristic, n int) [][]float64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// One engine pool (and, when ScanWorkers asks for it, one
-			// persistent parallel builder) per worker: neither is
-			// concurrency-safe, and per-worker reuse keeps repeated
-			// construction free of pool setup churn.
-			ep := sched.NewEnginePool()
-			pb := mc.scanBuilder()
-			if pb != nil {
-				defer pb.Close()
-			}
+			// One Session per drawn platform: planning runs through the
+			// facade's shared engine-pool cache, which hands each worker
+			// goroutine recycled engines in steady state — the per-worker
+			// reuse this loop used to wire by hand.
 			for it := w; it < iters; it += nw {
-				p := mc.instance(n, it)
+				g, root := mc.instanceGrid(n, it)
+				sess, err := gridbcast.NewSession(g)
+				if err != nil {
+					panic(err) // drawn platforms are valid by construction
+				}
 				row := make([]float64, len(hs))
 				for hi, h := range hs {
-					row[hi] = mc.schedule(ep, pb, h, p).Makespan
+					plan, err := sess.Plan(gridbcast.NewRequest(mc.planOptions(h, root)...))
+					if err != nil {
+						panic(err)
+					}
+					row[hi] = plan.Makespan
 				}
 				spans[it] = row
 			}
@@ -134,8 +136,8 @@ func (mc MonteCarlo) sweepSpans(hs []sched.Heuristic, n int) [][]float64 {
 	return spans
 }
 
-// instance draws the it-th random problem for n clusters.
-func (mc MonteCarlo) instance(n, it int) *sched.Problem {
+// instanceGrid draws the it-th random platform (and root) for n clusters.
+func (mc MonteCarlo) instanceGrid(n, it int) (*topology.Grid, int) {
 	r := stats.NewRand(stats.SplitSeed(mc.Seed, int64(it)*1000003+int64(n)))
 	var g *topology.Grid
 	if mc.Symmetric {
@@ -147,6 +149,13 @@ func (mc MonteCarlo) instance(n, it int) *sched.Problem {
 	if root < 0 {
 		root = r.Intn(n)
 	}
+	return g, root
+}
+
+// instance draws the it-th random problem for n clusters (the costed form
+// used by the Optimal-gap ablation, which schedules below the facade).
+func (mc MonteCarlo) instance(n, it int) *sched.Problem {
+	g, root := mc.instanceGrid(n, it)
 	return sched.MustProblem(g, root, mc.msgSize(), sched.Options{Overlap: true})
 }
 

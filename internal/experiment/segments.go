@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	gridbcast "gridbcast"
 	"gridbcast/internal/sched"
 	"gridbcast/internal/stats"
 	"gridbcast/internal/topology"
@@ -132,10 +133,19 @@ func (mc MonteCarlo) FigSegmentsRandom(n int, sizes []int64, counts []int) *Figu
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// One engine pool per worker: the pooled segmented engine
-			// produces identical schedules and recycles the candidate
-			// caches across the (size, count) grid.
-			ep := sched.NewEnginePool()
+			// One Session per drawn platform: the facade's pooled segmented
+			// engine produces identical schedules and recycles the candidate
+			// caches (and Gs/Wl transposes) across the (size, count) grid.
+			segPlan := func(sess *gridbcast.Session, root int, m, segSize int64) float64 {
+				plan, err := sess.Plan(gridbcast.NewRequest(
+					gridbcast.WithHeuristic(gridbcast.Mixed),
+					gridbcast.WithRoot(root), gridbcast.WithSize(m),
+					gridbcast.WithSegments(segSize), gridbcast.WithOverlap(true)))
+				if err != nil {
+					panic(err)
+				}
+				return plan.Makespan
+			}
 			for it := w; it < iters; it += nw {
 				r := stats.NewRand(stats.SplitSeed(mc.Seed, int64(it)*2000003+int64(n)))
 				g := topology.RandomSizedGrid(r, n)
@@ -143,14 +153,15 @@ func (mc MonteCarlo) FigSegmentsRandom(n int, sizes []int64, counts []int) *Figu
 				if root < 0 {
 					root = r.Intn(n)
 				}
+				sess, err := gridbcast.NewSession(g)
+				if err != nil {
+					panic(err)
+				}
 				row := make([]float64, len(sizes)*len(counts))
 				for si, m := range sizes {
-					sp1 := sched.MustSegmentedProblem(g, root, m, segSizeFor(m, 1), sched.Options{Overlap: true})
-					unseg := ep.ScheduleSegmented(sched.Mixed{}, sp1).Makespan
+					unseg := segPlan(sess, root, m, segSizeFor(m, 1))
 					for ci, count := range counts {
-						sp := sched.MustSegmentedProblem(g, root, m, segSizeFor(m, count), sched.Options{Overlap: true})
-						span := ep.ScheduleSegmented(sched.Mixed{}, sp).Makespan
-						row[si*len(counts)+ci] = span / unseg
+						row[si*len(counts)+ci] = segPlan(sess, root, m, segSizeFor(m, count)) / unseg
 					}
 				}
 				ratios[it] = row

@@ -37,6 +37,12 @@ type Options struct {
 	// Net configures network non-idealities (jitter, software overhead).
 	// The zero value reproduces analytic predictions exactly.
 	Net vnet.Config
+	// Overlap names the completion model the schedule was built under
+	// (sched.Options.Overlap). It only affects the pre-execution schedule
+	// validation — the message-level execution itself is model-free — but
+	// schedules produced under the overlap model carry overlap completions
+	// and fail validation against a strict-model problem without it.
+	Overlap bool
 }
 
 // Result is the outcome of one executed broadcast.
@@ -58,7 +64,7 @@ type Result struct {
 // local broadcasts) for a message of m bytes on grid g. The schedule must
 // be valid for the grid and message size.
 func ExecuteSchedule(g *topology.Grid, sc *sched.Schedule, m int64, opt Options) (*Result, error) {
-	prob, err := sched.NewProblem(g, sc.Root, m, sched.Options{IntraShape: opt.IntraShape})
+	prob, err := sched.NewProblem(g, sc.Root, m, sched.Options{IntraShape: opt.IntraShape, Overlap: opt.Overlap})
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,7 @@ import (
 // (plus per-cluster local broadcasts of the reassembled message) on grid g.
 // The schedule must be valid for the grid, message size and segmentation.
 func ExecuteSegmentedSchedule(g *topology.Grid, ss *sched.SegmentedSchedule, opt Options) (*Result, error) {
-	sp, err := sched.NewSegmentedProblem(g, ss.Root, ss.MsgSize, ss.SegSize, sched.Options{IntraShape: opt.IntraShape})
+	sp, err := sched.NewSegmentedProblem(g, ss.Root, ss.MsgSize, ss.SegSize, sched.Options{IntraShape: opt.IntraShape, Overlap: opt.Overlap})
 	if err != nil {
 		return nil, err
 	}

@@ -55,6 +55,22 @@ type EnginePool struct {
 	inA       []bool // scratch membership vector ({root} at engine init)
 
 	templates map[laTemplateKey]*laTemplate
+	segTrans  map[segTransKey]*segTranspose
+}
+
+// segTransKey identifies cached segmented-engine transposes by matrix
+// identity: Gs and Wl alias the grid's per-message-size EdgeCosts cache and
+// are immutable, and holding the pointers pins them, so a key is never
+// recycled for different values (same argument as laTemplateKey).
+type segTransKey struct {
+	gs, wl *float64
+}
+
+// segTranspose holds the Gs/Wl transposes for one (Gs, Wl) matrix pair.
+// Entries are shared read-only by every engine the pool readies.
+type segTranspose struct {
+	n        int
+	gsT, wlT [][]float64
 }
 
 // laTemplateKey identifies a cached lookahead template: the full-message W
@@ -77,7 +93,10 @@ type laTemplate struct {
 
 // NewEnginePool returns an empty pool.
 func NewEnginePool() *EnginePool {
-	return &EnginePool{templates: map[laTemplateKey]*laTemplate{}}
+	return &EnginePool{
+		templates: map[laTemplateKey]*laTemplate{},
+		segTrans:  map[segTransKey]*segTranspose{},
+	}
 }
 
 // Schedule builds p's schedule with h through the pool's recycled engines.
@@ -251,6 +270,11 @@ func (ep *EnginePool) ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *Segm
 }
 
 // ensureSeg sizes and resets the pooled segmented receiver cache for sp.
+// The Gs/Wl transposes come from the pool's per-matrix-identity cache (the
+// ROADMAP item behind Pipelined ladder setup cost): ladder rungs and
+// repeated schedules at the same segmentation skip the O(N²) rebuild
+// entirely. ep.segRc therefore only aliases shared transposes — it must
+// never be reset through segRecvCache.reset, which would write into them.
 func (ep *EnginePool) ensureSeg(sp *SegmentedProblem) {
 	ep.ensure(sp.N)
 	if ep.segN != sp.N {
@@ -265,7 +289,29 @@ func (ep *EnginePool) ensureSeg(sp *SegmentedProblem) {
 			nq:         make([]int32, n),
 		}
 	}
-	ep.segRc.reset(sp)
+	tr := ep.transposesFor(sp)
+	ep.segRc.resetWith(sp, tr.gsT, tr.wlT)
+}
+
+// transposesFor returns (building and caching on demand) the segmented
+// engine's transposes of sp.Gs and sp.Wl. Like the lookahead template cache
+// it is bounded by maxTemplates and simply dropped on overflow — throwaway
+// Monte-Carlo platforms must not pin an unbounded set of cost matrices.
+func (ep *EnginePool) transposesFor(sp *SegmentedProblem) *segTranspose {
+	key := segTransKey{gs: &sp.Gs[0][0], wl: &sp.Wl[0][0]}
+	if tr := ep.segTrans[key]; tr != nil && tr.n == sp.N {
+		return tr
+	}
+	if len(ep.segTrans) >= maxTemplates {
+		ep.segTrans = map[segTransKey]*segTranspose{}
+	}
+	tr := &segTranspose{
+		n:   sp.N,
+		gsT: transposeInto(nil, sp.Gs, sp.N),
+		wlT: transposeInto(nil, sp.Wl, sp.N),
+	}
+	ep.segTrans[key] = tr
+	return tr
 }
 
 // maxTemplates bounds the template cache. Sweeps over one platform use a

@@ -76,11 +76,34 @@ type ParallelBuilder struct {
 	workers int
 	cands   []pickCand
 	req     []chan scanReq
-	wg      sync.WaitGroup
+	// wg is heap-allocated separately so worker goroutines can hold it
+	// without holding the builder: a goroutine referencing the builder
+	// itself would pin it reachable forever and the GC cleanup below could
+	// never fire.
+	wg     *sync.WaitGroup
+	closer *builderCloser
+}
+
+// builderCloser owns the request channels' shutdown; it is shared between
+// the explicit Close and the GC cleanup (it must not reference the builder,
+// or the cleanup would never fire), and idempotent so both may run.
+type builderCloser struct {
+	once sync.Once
+	req  []chan scanReq
+}
+
+func (c *builderCloser) close() {
+	c.once.Do(func() {
+		for _, ch := range c.req {
+			close(ch)
+		}
+	})
 }
 
 // NewParallelBuilder starts a pool of workers goroutines (workers <= 0
-// means GOMAXPROCS). Close releases them.
+// means GOMAXPROCS). Close releases them; a builder dropped without Close
+// is released by a GC cleanup, so cached reuse (sync.Pool) cannot leak the
+// goroutines.
 func NewParallelBuilder(workers int) *ParallelBuilder {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -89,26 +112,30 @@ func NewParallelBuilder(workers int) *ParallelBuilder {
 		workers: workers,
 		cands:   make([]pickCand, workers),
 		req:     make([]chan scanReq, workers),
+		wg:      &sync.WaitGroup{},
 	}
 	for w := range pb.req {
 		pb.req[w] = make(chan scanReq)
-		go func(w int) {
-			for rq := range pb.req[w] {
-				pb.cands[w] = rq.sc.scanShard(rq.p, rq.s, rq.lo, rq.hi)
-				pb.wg.Done()
+		// The worker captures only the channel, the cands backing array and
+		// the shared WaitGroup — never pb (see the wg field comment).
+		go func(w int, ch chan scanReq, cands []pickCand, wg *sync.WaitGroup) {
+			for rq := range ch {
+				cands[w] = rq.sc.scanShard(rq.p, rq.s, rq.lo, rq.hi)
+				wg.Done()
 			}
-		}(w)
+		}(w, pb.req[w], pb.cands, pb.wg)
 	}
+	pb.closer = &builderCloser{req: pb.req}
+	runtime.AddCleanup(pb, func(c *builderCloser) { c.close() }, pb.closer)
 	return pb
 }
 
+// Workers returns the pool's worker count.
+func (pb *ParallelBuilder) Workers() int { return pb.workers }
+
 // Close releases the pool's goroutines. The builder must not be used
 // afterwards.
-func (pb *ParallelBuilder) Close() {
-	for _, ch := range pb.req {
-		close(ch)
-	}
-}
+func (pb *ParallelBuilder) Close() { pb.closer.close() }
 
 // Schedule builds h's schedule with the per-round receiver scans sharded
 // across the pool. The result is bit-identical to h.Schedule(p) in every

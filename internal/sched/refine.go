@@ -16,21 +16,34 @@ package sched
 // search can never produce an invalid schedule; moves that break the
 // "sender must hold the message" precedence are skipped.
 
+import "context"
+
 // Refine improves a schedule by steepest-descent local search, stopping
 // when no move improves the makespan or after maxRounds full sweeps
 // (maxRounds <= 0 means sweep until a local optimum). The original
 // schedule is not modified; the result is never worse.
 func Refine(p *Problem, sc *Schedule, maxRounds int) *Schedule {
+	out, _ := RefineContext(context.Background(), p, sc, maxRounds)
+	return out
+}
+
+// RefineContext is Refine with cooperative cancellation: ctx is checked
+// between move sweeps (each a full O(N²) pass of re-timed candidates), and a
+// cancelled search returns ctx's error instead of a partial improvement.
+func RefineContext(ctx context.Context, p *Problem, sc *Schedule, maxRounds int) (*Schedule, error) {
 	best := pairsOf(sc)
 	bestSpan := sc.Makespan
 	n := len(best)
 	if n < 2 {
-		return sc
+		return sc, nil
 	}
 	improvedName := sc.Heuristic + "+refine"
 
 	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
 		improved := false
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		// Swap moves.
 		for a := 0; a < n; a++ {
@@ -46,6 +59,9 @@ func Refine(p *Problem, sc *Schedule, maxRounds int) *Schedule {
 			}
 		}
 		// Re-sender moves.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for k := 0; k < n; k++ {
 			inA := make([]bool, p.N)
 			inA[p.Root] = true
@@ -69,7 +85,7 @@ func Refine(p *Problem, sc *Schedule, maxRounds int) *Schedule {
 	}
 	out := Replay(p, best)
 	out.Heuristic = improvedName
-	return out
+	return out, nil
 }
 
 // validOrder reports whether every sender holds the message before its

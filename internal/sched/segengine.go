@@ -156,13 +156,22 @@ func newSegRecvCache(sp *SegmentedProblem) segRecvCache {
 	return rc
 }
 
-// reset re-targets the cache at sp, keeping every allocation (the pooled
-// path reuses the transposes and lazily grown heaps across schedules).
+// reset re-targets the cache at sp, keeping every allocation (lazily grown
+// heaps, and the transposes when the cache owns them). The engine pool uses
+// resetWith instead, with transposes cached per matrix identity.
 func (rc *segRecvCache) reset(sp *SegmentedProblem) {
+	rc.resetWith(sp, transposeInto(rc.gsT, sp.Gs, sp.N), transposeInto(rc.wlT, sp.Wl, sp.N))
+}
+
+// resetWith is reset with caller-provided transposes of sp.Gs and sp.Wl.
+// The pooled path passes the EnginePool's per-matrix-identity cached
+// transposes, which are shared and read-only: the cache only ever reads
+// gsT/wlT, so aliasing them across engines is safe and skips the O(N²)
+// rebuild that used to dominate pooled ladder-search setup.
+func (rc *segRecvCache) resetWith(sp *SegmentedProblem, gsT, wlT [][]float64) {
 	rc.sp = sp
 	rc.kg1 = float64(sp.K - 1)
-	rc.gsT = transposeInto(rc.gsT, sp.Gs, sp.N)
-	rc.wlT = transposeInto(rc.wlT, sp.Wl, sp.N)
+	rc.gsT, rc.wlT = gsT, wlT
 	for j := 0; j < sp.N; j++ {
 		rc.heaps[j].es = rc.heaps[j].es[:0]
 		rc.integrated[j] = 0

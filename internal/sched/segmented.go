@@ -38,6 +38,7 @@ package sched
 // timed by the exact per-segment recurrence.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -536,17 +537,36 @@ func (pl Pipelined) Name() string { return "Pipelined-" + pl.base().Name() }
 // segment size and returns the schedule with the smallest makespan. Ties
 // resolve to the earliest ladder entry (largest segments, least overhead).
 func (pl Pipelined) Best(g *topology.Grid, root int, m int64, opt Options) (*SegmentedSchedule, error) {
+	return pl.BestContext(context.Background(), nil, g, root, m, opt)
+}
+
+// BestContext is Best with cooperative cancellation and optional engine
+// pooling. ctx is checked before each ladder candidate, so a cancelled
+// search returns ctx's error within one rung's construction time. A non-nil
+// ep routes every candidate through the pool, reusing the candidate caches,
+// lookahead templates and the per-matrix-identity Gs/Wl transposes across
+// rungs and across repeated searches on one platform; the produced schedule
+// is identical either way (the pool's equivalence contract).
+func (pl Pipelined) BestContext(ctx context.Context, ep *EnginePool, g *topology.Grid, root int, m int64, opt Options) (*SegmentedSchedule, error) {
 	ladder := pl.Ladder
 	if len(ladder) == 0 {
 		ladder = DefaultSegmentLadder(m)
 	}
 	var best *SegmentedSchedule
 	for _, s := range ladder {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp, err := NewSegmentedProblem(g, root, m, s, opt)
 		if err != nil {
 			return nil, err
 		}
-		ss := ScheduleSegmented(pl.base(), sp)
+		var ss *SegmentedSchedule
+		if ep != nil {
+			ss = ep.ScheduleSegmented(pl.base(), sp)
+		} else {
+			ss = ScheduleSegmented(pl.base(), sp)
+		}
 		if best == nil || ss.Makespan < best.Makespan {
 			best = ss
 		}

@@ -1,0 +1,483 @@
+package gridbcast
+
+// The unified Session/Request/Plan API. The paper's pipeline is one flow —
+// cost a platform, schedule with a heuristic, optionally segment, optionally
+// refine, then execute on the virtual grid — and this file expresses it as
+// one composable request path instead of a combinatorial family of
+// Predict/Simulate variants (which survive in gridbcast.go as thin
+// deprecated wrappers over a Session).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/mpi"
+	"gridbcast/internal/sched"
+)
+
+// enginePools shares recycled scheduling engines (candidate caches, sender
+// heaps, lookahead templates, segmented Gs/Wl transposes) across every
+// Session in the process. A sched.EnginePool is not safe for concurrent
+// use, so each Plan call checks one out for its duration; sync.Pool keeps
+// the association per-P in steady state, which is the per-worker reuse
+// pattern the Monte-Carlo sweeps used to hand-roll.
+var enginePools = sync.Pool{New: func() any { return sched.NewEnginePool() }}
+
+// scanBuilders recycles persistent parallel-scan worker pools the same way,
+// so WithScanWorkers sweeps spawn their goroutines once per P rather than
+// once per schedule (the churn PR 3's hand-rolled per-worker builders
+// avoided). One sync.Pool per worker count — mixed-count workloads reuse
+// both sizes instead of thrashing a single slot — and builders the GC drops
+// release their goroutines through sched.NewParallelBuilder's cleanup, so
+// pooling cannot leak them.
+var scanBuilders sync.Map // worker count -> *sync.Pool of *sched.ParallelBuilder
+
+func scanBuilderPool(workers int) *sync.Pool {
+	pool, _ := scanBuilders.LoadOrStore(workers, &sync.Pool{})
+	return pool.(*sync.Pool)
+}
+
+// checkoutScanBuilder returns a recycled builder with the given worker
+// count, spawning one when its pool is empty. Return it with
+// returnScanBuilder after use.
+func checkoutScanBuilder(workers int) *sched.ParallelBuilder {
+	if pb, _ := scanBuilderPool(workers).Get().(*sched.ParallelBuilder); pb != nil {
+		return pb
+	}
+	return sched.NewParallelBuilder(workers)
+}
+
+func returnScanBuilder(pb *sched.ParallelBuilder) {
+	scanBuilderPool(pb.Workers()).Put(pb)
+}
+
+// Session binds a platform to everything needed to plan and execute
+// broadcasts on it: the grid's per-message-size EdgeCosts caches warm up on
+// first use and are shared by subsequent plans, and schedule construction
+// runs through pooled incremental engines. A Session is safe for concurrent
+// use — many goroutines may Plan, PlanBatch and Execute against one warmed
+// platform, the serving-scale scenario the per-call API could not express.
+type Session struct {
+	g *Grid
+}
+
+// NewSession validates the platform and wraps it in a Session.
+func NewSession(g *Grid) (*Session, error) {
+	if g == nil {
+		return nil, errors.New("gridbcast: nil grid")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{g: g}, nil
+}
+
+// Grid returns the session's platform.
+func (s *Session) Grid() *Grid { return s.g }
+
+// Request describes one broadcast planning problem. The zero value asks for
+// best-of-paper heuristic selection from root 0 but carries no message
+// size; build requests with NewRequest and the With* options.
+type Request struct {
+	heuristic   Heuristic
+	root        int
+	size        int64
+	sizeSet     bool
+	segSize     int64
+	segmented   bool
+	pipelined   bool
+	scanWorkers int
+	scanSet     bool
+	refine      int
+	refineSet   bool
+	overlap     bool
+	net         NetConfig
+	netSet      bool
+	ctx         context.Context
+}
+
+// Option configures a Request.
+type Option func(*Request)
+
+// NewRequest assembles a Request from options. Nil options are skipped, so
+// callers may build option lists conditionally.
+func NewRequest(opts ...Option) Request {
+	var r Request
+	for _, o := range opts {
+		if o != nil {
+			o(&r)
+		}
+	}
+	return r
+}
+
+// WithHeuristic pins the scheduling heuristic (one of the exported typed
+// values, or any sched.Heuristic). Without it, Plan tries every paper
+// heuristic and adopts the best predicted makespan, recording the losers in
+// Plan.Candidates.
+func WithHeuristic(h Heuristic) Option { return func(r *Request) { r.heuristic = h } }
+
+// WithRoot selects the source cluster (default 0).
+func WithRoot(root int) Option { return func(r *Request) { r.root = root } }
+
+// WithSize sets the broadcast payload in bytes. Every request needs one.
+func WithSize(size int64) Option { return func(r *Request) { r.size = size; r.sizeSet = true } }
+
+// WithSegments plans a pipelined broadcast with fixed segSize-byte
+// segments (see DESIGN.md §7). Mutually exclusive with WithPipelined.
+func WithSegments(segSize int64) Option {
+	return func(r *Request) { r.segSize = segSize; r.segmented = true }
+}
+
+// WithPipelined plans a pipelined broadcast with the segment size chosen
+// from the default candidate ladder; the result is never worse than the
+// unsegmented schedule. Mutually exclusive with WithSegments.
+func WithPipelined() Option { return func(r *Request) { r.pipelined = true } }
+
+// WithScanWorkers parallelises the schedule construction itself: the
+// per-round candidate scans are sharded across w goroutines (w <= 0 means
+// GOMAXPROCS; 1 means the sequential engine). The schedule is bit-identical
+// at any worker count — only construction latency changes, which pays off
+// from a few hundred clusters up. Segmented requests ignore it (their
+// incremental engine is not sharded yet).
+func WithScanWorkers(w int) Option {
+	return func(r *Request) { r.scanWorkers = w; r.scanSet = true }
+}
+
+// WithRefine improves the planned schedule by local search (swap and
+// re-sender moves, re-timed exactly), sweeping at most budget rounds
+// (budget <= 0 sweeps until a local optimum). The result is never worse.
+// Unsegmented requests only.
+func WithRefine(budget int) Option {
+	return func(r *Request) { r.refine = budget; r.refineSet = true }
+}
+
+// WithNet records the virtual-network configuration (jitter, per-message
+// software overhead) Session.Execute applies when running the plan.
+func WithNet(cfg NetConfig) Option {
+	return func(r *Request) { r.net = cfg; r.netSet = true }
+}
+
+// WithContext attaches a cancellation context: Plan checks it between
+// heuristic candidates, between refinement sweeps and before every segment
+// size of the pipelined ladder, so long searches stop within one schedule
+// construction of the cancel.
+func WithContext(ctx context.Context) Option { return func(r *Request) { r.ctx = ctx } }
+
+// WithOverlap selects the completion model (sched.Options.Overlap): when
+// true, a cluster's local broadcast overlaps its later wide-area
+// transmissions (the §5.2 model used by the paper's §6 simulations).
+func WithOverlap(on bool) Option { return func(r *Request) { r.overlap = on } }
+
+// Candidate records one heuristic tried during best-of selection.
+type Candidate struct {
+	// Heuristic is the candidate's display name.
+	Heuristic string
+	// Makespan is the candidate's predicted makespan.
+	Makespan float64
+}
+
+// BuildStats reports how much work planning took.
+type BuildStats struct {
+	// Duration is the wall-clock time Plan spent.
+	Duration time.Duration
+	// Schedules counts the schedules constructed (heuristic candidates ×
+	// ladder segment sizes).
+	Schedules int
+}
+
+// Plan is the outcome of Session.Plan: exactly one of Schedule (single
+// message rounds) or Segmented (pipelined) is set, plus the predicted
+// makespan, the chosen heuristic and segmentation, the per-heuristic
+// makespans when best-of selection ran, and build statistics.
+type Plan struct {
+	// Heuristic is the display name of the policy that produced the
+	// schedule (the winner under best-of selection, including "+refine"
+	// and "Pipelined-" decorations).
+	Heuristic string
+	// Root and Size echo the request.
+	Root int
+	Size int64
+	// Schedule is the unsegmented schedule (nil when Segmented is set).
+	Schedule *Schedule
+	// Segmented is the pipelined schedule (nil for unsegmented plans).
+	Segmented *SegmentedSchedule
+	// SegSize and K are the chosen segmentation (0 and 1 when unsegmented).
+	SegSize int64
+	K       int
+	// Makespan is the predicted makespan of the adopted schedule.
+	Makespan float64
+	// Candidates lists every heuristic tried, in paper legend order, when
+	// the request did not pin one; nil otherwise.
+	Candidates []Candidate
+	// Overlap echoes the request's completion model (WithOverlap). Execute
+	// and Refine re-time under it; callers wrapping an existing schedule in
+	// a Plan literal must set it to match how the schedule was built, or
+	// the pre-execution validation will reject the timing.
+	Overlap bool
+	// Stats reports the planning work.
+	Stats BuildStats
+
+	net    NetConfig
+	netSet bool
+}
+
+// validate pins down request errors at the facade boundary, before any
+// value reaches problem construction or indexing.
+func (s *Session) validate(req Request) error {
+	if err := s.validateRootSize(req.root, req.size); err != nil {
+		return err
+	}
+	if !req.sizeSet {
+		return errors.New("gridbcast: request has no message size (use WithSize)")
+	}
+	if req.segmented && req.pipelined {
+		return errors.New("gridbcast: WithSegments and WithPipelined are mutually exclusive")
+	}
+	if req.segmented && req.segSize <= 0 {
+		return fmt.Errorf("gridbcast: segment size %d must be positive", req.segSize)
+	}
+	if req.refineSet && (req.segmented || req.pipelined) {
+		return errors.New("gridbcast: WithRefine applies to unsegmented schedules only")
+	}
+	return nil
+}
+
+func (s *Session) validateRootSize(root int, size int64) error {
+	if n := s.g.N(); root < 0 || root >= n {
+		return fmt.Errorf("gridbcast: root %d out of range [0,%d) on a %d-cluster platform", root, n, n)
+	}
+	if size < 0 {
+		return fmt.Errorf("gridbcast: negative message size %d", size)
+	}
+	return nil
+}
+
+// Plan builds the schedule the request describes and returns it with its
+// predicted timing. Safe for concurrent use.
+func (s *Session) Plan(req Request) (*Plan, error) {
+	start := time.Now()
+	ctx := req.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.validate(req); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	ep := enginePools.Get().(*sched.EnginePool)
+	defer enginePools.Put(ep)
+
+	pl := &Plan{
+		Root: req.root, Size: req.size, K: 1,
+		Overlap: req.overlap, net: req.net, netSet: req.netSet,
+	}
+	candidates := []Heuristic{req.heuristic}
+	if req.heuristic == nil {
+		candidates = sched.Paper()
+		pl.Candidates = make([]Candidate, 0, len(candidates))
+	}
+	// The costed problem is heuristic-independent, so best-of selection
+	// shares one across every candidate (the pipelined ladder builds its
+	// own, one per segment size).
+	var p *sched.Problem
+	var sp *sched.SegmentedProblem
+	opt := sched.Options{Overlap: req.overlap}
+	var err error
+	switch {
+	case req.pipelined:
+	case req.segmented:
+		sp, err = sched.NewSegmentedProblem(s.g, req.root, req.size, req.segSize, opt)
+	default:
+		p, err = sched.NewProblem(s.g, req.root, req.size, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sc, ss, built, err := s.buildOne(ctx, ep, h, req, p, sp)
+		if err != nil {
+			return nil, err
+		}
+		pl.Stats.Schedules += built
+		var name string
+		var span float64
+		if sc != nil {
+			name, span = sc.Heuristic, sc.Makespan
+		} else {
+			name, span = ss.Heuristic, ss.Makespan
+		}
+		if req.heuristic == nil {
+			pl.Candidates = append(pl.Candidates, Candidate{Heuristic: name, Makespan: span})
+		}
+		// Strictly-smaller adoption: ties resolve to the earliest candidate,
+		// matching the legacy Best (sched.BestOf) tie-break exactly.
+		if pl.Schedule == nil && pl.Segmented == nil || span < pl.Makespan {
+			pl.Schedule, pl.Segmented = sc, ss
+			pl.Heuristic, pl.Makespan = name, span
+		}
+	}
+	if pl.Segmented != nil {
+		pl.SegSize, pl.K = pl.Segmented.SegSize, pl.Segmented.K
+	}
+	pl.Stats.Duration = time.Since(start)
+	return pl, nil
+}
+
+// buildOne constructs one candidate schedule for h under the request's
+// mode, returning the schedule (exactly one of sc/ss non-nil) and how many
+// schedules were built. p/sp is the pre-costed problem for the mode
+// (nil in pipelined mode, whose ladder costs one problem per rung).
+func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristic, req Request, p *sched.Problem, sp *sched.SegmentedProblem) (sc *Schedule, ss *SegmentedSchedule, built int, err error) {
+	switch {
+	case req.pipelined:
+		opt := sched.Options{Overlap: req.overlap}
+		ladder := sched.DefaultSegmentLadder(req.size)
+		ss, err = sched.Pipelined{Base: h, Ladder: ladder}.BestContext(ctx, ep, s.g, req.root, req.size, opt)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return nil, ss, len(ladder), nil
+	case req.segmented:
+		return nil, ep.ScheduleSegmented(h, sp), 1, nil
+	default:
+		if req.scanSet && req.scanWorkers != 1 {
+			workers := req.scanWorkers
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			pb := checkoutScanBuilder(workers)
+			sc = pb.Schedule(h, p)
+			returnScanBuilder(pb)
+		} else {
+			sc = ep.Schedule(h, p)
+		}
+		built = 1
+		if req.refineSet {
+			sc, err = sched.RefineContext(ctx, p, sc, req.refine)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			built++
+		}
+		return sc, nil, built, nil
+	}
+}
+
+// PlanBatch plans every request against the session, fanning the work
+// across up to GOMAXPROCS goroutines sharing the engine pool. plans[i]
+// corresponds to reqs[i], and both the slice and every plan in it are
+// identical at any worker count: each slot is computed independently and
+// written exactly once, the ordered-fold determinism pattern of the
+// Monte-Carlo sweeps (PR 3). Failed requests leave a nil slot; the returned
+// error joins the per-request errors (nil when all requests planned).
+func (s *Session) PlanBatch(reqs []Request) ([]*Plan, error) {
+	plans := make([]*Plan, len(reqs))
+	errs := make([]error, len(reqs))
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(reqs) {
+		nw = len(reqs)
+	}
+	if nw <= 1 {
+		for i, req := range reqs {
+			plans[i], errs[i] = s.Plan(req)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(reqs); i += nw {
+					plans[i], errs[i] = s.Plan(reqs[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			// The inner errors carry the package prefix already.
+			failed = append(failed, fmt.Errorf("request %d: %w", i, err))
+		}
+	}
+	return plans, errors.Join(failed...)
+}
+
+// Execute runs the plan message-by-message (segment-by-segment for
+// pipelined plans) on the discrete-event virtual grid and returns the
+// measured result. The network configuration comes from the plan's WithNet
+// option; an explicit net argument overrides it. With an ideal network the
+// measured makespan matches the plan's prediction.
+func (s *Session) Execute(plan *Plan, net ...NetConfig) (*Result, error) {
+	if plan == nil || (plan.Schedule == nil && plan.Segmented == nil) {
+		return nil, errors.New("gridbcast: Execute needs a plan holding a schedule")
+	}
+	opt := mpi.Options{IntraShape: intracluster.Binomial, Overlap: plan.Overlap}
+	if len(net) > 0 {
+		opt.Net = net[0]
+	} else if plan.netSet {
+		opt.Net = plan.net
+	}
+	if plan.Segmented != nil {
+		return mpi.ExecuteSegmentedSchedule(s.g, plan.Segmented, opt)
+	}
+	return mpi.ExecuteSchedule(s.g, plan.Schedule, plan.Size, opt)
+}
+
+// ExecuteBinomial executes the grid-unaware binomial broadcast (the
+// "default MPI" baseline of the paper's Figure 6) and returns the measured
+// result.
+func (s *Session) ExecuteBinomial(root int, size int64, net ...NetConfig) (*Result, error) {
+	if err := s.validateRootSize(root, size); err != nil {
+		return nil, err
+	}
+	var opt mpi.Options
+	if len(net) > 0 {
+		opt.Net = net[0]
+	}
+	return mpi.ExecuteBinomialGridUnaware(s.g, root, size, opt)
+}
+
+// Refine improves an unsegmented plan's schedule by local search, sweeping
+// at most budget rounds (budget <= 0 sweeps until a local optimum), and
+// returns a new Plan holding the refined schedule; the input plan is not
+// modified. Refinement re-times candidates under the plan's own completion
+// model (WithOverlap carries through), so the result is never worse than
+// the input. ctx cancels between sweeps.
+func (s *Session) Refine(ctx context.Context, plan *Plan, budget int) (*Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if plan == nil || plan.Schedule == nil {
+		return nil, errors.New("gridbcast: Refine needs a plan holding an unsegmented schedule")
+	}
+	if err := s.validateRootSize(plan.Root, plan.Size); err != nil {
+		return nil, err
+	}
+	p, err := sched.NewProblem(s.g, plan.Root, plan.Size, sched.Options{Overlap: plan.Overlap})
+	if err != nil {
+		return nil, err
+	}
+	sc, err := sched.RefineContext(ctx, p, plan.Schedule, budget)
+	if err != nil {
+		return nil, err
+	}
+	out := *plan
+	out.Schedule = sc
+	out.Heuristic = sc.Heuristic
+	out.Makespan = sc.Makespan
+	return &out, nil
+}
