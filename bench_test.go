@@ -471,6 +471,39 @@ func BenchmarkSegmentedEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalSegmentedTree measures the per-segment intra-cluster timing
+// model T_i(s, K) (intracluster.SegmentedCompletion) on a 64-node streamed
+// chain at 16 MB / 128 segments — the per-cluster evaluation the end-to-end
+// pipeline adds to every segmented schedule construction.
+func BenchmarkLocalSegmentedTree(b *testing.B) {
+	params := plogp.FromBandwidth(5e-5, 5e-5, 100e6)
+	tree := intracluster.New(intracluster.Chain, 64)
+	sizes := intracluster.SegmentSizes(128<<10, 128<<10, 128)
+	var t float64
+	for i := 0; i < b.N; i++ {
+		t = tree.SegmentedCompletion(params, sizes, nil)
+	}
+	b.ReportMetric(t, "T-s-K-s")
+}
+
+// BenchmarkLocalSegmentedSchedule measures end-to-end pipelined schedule
+// construction (SegmentedLocal: per-segment local trees, TL estimates, the
+// per-cluster min completion) on the 88-machine grid at 16 MB / 128 KB
+// segments, plus the quality it buys over the coordinator-only pipeline.
+func BenchmarkLocalSegmentedSchedule(b *testing.B) {
+	g := topology.Grid5000()
+	const m = 16 << 20
+	sp := sched.MustSegmentedProblem(g, 0, m, 128<<10, sched.Options{SegmentedLocal: true})
+	b.ResetTimer()
+	var ss *sched.SegmentedSchedule
+	for i := 0; i < b.N; i++ {
+		ss = sched.ScheduleSegmented(sched.Mixed{}, sp)
+	}
+	b.StopTimer()
+	coord := sched.ScheduleSegmented(sched.Mixed{}, sched.MustSegmentedProblem(g, 0, m, 128<<10, sched.Options{}))
+	b.ReportMetric(ss.Makespan/coord.Makespan, "vs-coord-only")
+}
+
 // BenchmarkPoolSegmentedReuse measures repeated pooled segmented schedule
 // construction on one platform (16 MB in 128 KB segments, Mixed) — the
 // setup path the EnginePool's per-matrix-identity Gs/Wl transpose cache

@@ -1,4 +1,4 @@
-// Command benchdiff compares two BENCH_*.json snapshots produced by
+// Command benchdiff compares BENCH_*.json snapshots produced by
 // cmd/benchjson and exits non-zero when a benchmark present in both files
 // regressed beyond the tolerance in ns/op or allocs/op. It is the CI gate
 // that keeps the repository's performance trajectory monotone (see the
@@ -7,6 +7,15 @@
 // Usage:
 //
 //	benchdiff [-tol 0.10] [-alloc-tol 0.10] [-ns-floor 100000] [-alloc-slack 2] old.json new.json
+//	benchdiff -chain [flags] BENCH_*.json          # diff consecutive snapshots
+//	benchdiff -print-latest BENCH_*.json           # print the newest snapshot name
+//
+// Snapshot ordering is NUMERIC on the integer embedded in the file name
+// (BENCH_10.json sorts after BENCH_5.json), not lexicographic and not the
+// `sort -V` the CI scripts used to rely on; -chain and -print-latest both
+// use it. -summary FILE appends a Markdown report of every comparison to
+// FILE (CI passes $GITHUB_STEP_SUMMARY so regressions are readable from the
+// run page).
 //
 // Rules:
 //
@@ -28,7 +37,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // result mirrors cmd/benchjson's Result.
@@ -125,48 +137,217 @@ func Compare(old, new []result, opt Options) (deltas []Delta, added, removed []s
 	return deltas, added, removed
 }
 
-func main() {
-	tol := flag.Float64("tol", 0.10, "relative ns/op regression tolerance (0.10 = +10%)")
-	allocTol := flag.Float64("alloc-tol", -1, "relative allocs/op tolerance (negative = same as -tol)")
-	nsFloor := flag.Float64("ns-floor", 100000, "skip the ns/op check when the old value is below this (timer noise)")
-	allocSlack := flag.Float64("alloc-slack", 2, "absolute allocs/op slack on top of the allocs tolerance")
-	verbose := flag.Bool("v", false, "print every compared benchmark, not only regressions")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
-		os.Exit(2)
-	}
-	old, err := load(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	new, err := load(flag.Arg(1))
-	if err != nil {
-		fatal(err)
-	}
-	deltas, added, removed := Compare(old.Results, new.Results, Options{
-		Tol: *tol, AllocTol: *allocTol, NsFloor: *nsFloor, AllocSlack: *allocSlack,
+// SortSnapshots orders snapshot file names by the first integer embedded in
+// their base name, ascending (BENCH_2.json < BENCH_10.json); names without
+// an integer sort first, lexicographically. The input is not modified.
+func SortSnapshots(names []string) []string {
+	s := append([]string(nil), names...)
+	sort.SliceStable(s, func(i, j int) bool {
+		ni, oki := snapshotIndex(s[i])
+		nj, okj := snapshotIndex(s[j])
+		switch {
+		case oki && okj && ni != nj:
+			return ni < nj
+		case oki != okj:
+			return !oki
+		default:
+			return s[i] < s[j]
+		}
 	})
+	return s
+}
+
+// snapshotIndex extracts the first integer run from a file's base name.
+func snapshotIndex(name string) (int, bool) {
+	base := filepath.Base(name)
+	start := -1
+	for i := 0; i <= len(base); i++ {
+		if i < len(base) && base[i] >= '0' && base[i] <= '9' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			n, err := strconv.Atoi(base[start:i])
+			return n, err == nil
+		}
+	}
+	return 0, false
+}
+
+// diffFiles loads and compares one snapshot pair, printing the human report
+// to stdout and appending the Markdown report to md (when non-nil). It
+// returns the number of regressed benchmarks.
+func diffFiles(oldPath, newPath string, opt Options, verbose bool, md *strings.Builder) (int, error) {
+	old, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	new, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	deltas, added, removed := Compare(old.Results, new.Results, opt)
 
 	bad := 0
 	for _, d := range deltas {
 		if d.Regressed() {
 			bad++
 		}
-		if d.Regressed() || *verbose {
+		if d.Regressed() || verbose {
 			fmt.Printf("%s %-60s ns/op %12.0f -> %12.0f (%+.1f%%)%s%s\n",
 				verdict(&d), d.Name, d.OldNs, d.NewNs, (d.NsRatio-1)*100,
 				allocsColumn(&d), noteColumn(&d))
 		}
 	}
-	fmt.Printf("benchdiff: %d compared, %d regressed, %d added, %d removed (tol %+.0f%%, ns floor %gns)\n",
-		len(deltas), bad, len(added), len(removed), *tol*100, *nsFloor)
+	fmt.Printf("benchdiff: %s -> %s: %d compared, %d regressed, %d added, %d removed (tol %+.0f%%, ns floor %gns)\n",
+		oldPath, newPath, len(deltas), bad, len(added), len(removed), opt.Tol*100, opt.NsFloor)
 	for _, name := range added {
 		fmt.Printf("  added:   %s\n", name)
 	}
 	for _, name := range removed {
 		fmt.Printf("  REMOVED: %s\n", name)
 	}
+	if md != nil {
+		Markdown(md, oldPath, newPath, deltas, added, removed, opt)
+	}
+	return bad, nil
+}
+
+// Markdown appends one comparison's report to b: a one-line verdict plus a
+// table of the regressed benchmarks (every compared one when none
+// regressed and the set is small enough to stay readable).
+func Markdown(b *strings.Builder, oldPath, newPath string, deltas []Delta, added, removed []string, opt Options) {
+	bad := 0
+	for _, d := range deltas {
+		if d.Regressed() {
+			bad++
+		}
+	}
+	verdict := "✅ clean"
+	if bad > 0 {
+		verdict = fmt.Sprintf("❌ %d regression(s)", bad)
+	}
+	fmt.Fprintf(b, "### benchdiff `%s` → `%s`: %s\n\n", oldPath, newPath, verdict)
+	fmt.Fprintf(b, "%d compared, %d added, %d removed (ns tol %+.0f%%, alloc tol %+.0f%% ±%g, ns floor %gns)\n\n",
+		len(deltas), len(added), len(removed), opt.Tol*100, opt.allocTol()*100, opt.AllocSlack, opt.NsFloor)
+	rows := make([]Delta, 0, len(deltas))
+	for _, d := range deltas {
+		if d.Regressed() {
+			rows = append(rows, d)
+		}
+	}
+	const maxCleanRows = 32
+	if bad == 0 && len(deltas) <= maxCleanRows {
+		rows = deltas
+	}
+	if len(rows) > 0 {
+		b.WriteString("| benchmark | ns/op (old → new) | Δns | allocs/op (old → new) | status |\n")
+		b.WriteString("|---|---|---|---|---|\n")
+		for _, d := range rows {
+			allocs := "—"
+			if d.OldAllocs != nil && d.NewAllocs != nil {
+				allocs = fmt.Sprintf("%.0f → %.0f", *d.OldAllocs, *d.NewAllocs)
+			}
+			status := "ok"
+			switch {
+			case d.NsRegressed && d.AllocsRegressed:
+				status = "**ns+allocs regression**"
+			case d.NsRegressed:
+				status = "**ns regression**"
+			case d.AllocsRegressed:
+				status = "**allocs regression**"
+			case d.NsBelowFloor:
+				status = "below ns floor"
+			}
+			fmt.Fprintf(b, "| %s | %.0f → %.0f | %+.1f%% | %s | %s |\n",
+				d.Name, d.OldNs, d.NewNs, (d.NsRatio-1)*100, allocs, status)
+		}
+		b.WriteString("\n")
+	}
+	for _, name := range added {
+		fmt.Fprintf(b, "- added: `%s`\n", name)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(b, "- **removed**: `%s`\n", name)
+	}
+	b.WriteString("\n")
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "relative ns/op regression tolerance (0.10 = +10%)")
+	allocTol := flag.Float64("alloc-tol", -1, "relative allocs/op tolerance (negative = same as -tol)")
+	nsFloor := flag.Float64("ns-floor", 100000, "skip the ns/op check when the old value is below this (timer noise)")
+	allocSlack := flag.Float64("alloc-slack", 2, "absolute allocs/op slack on top of the allocs tolerance")
+	verbose := flag.Bool("v", false, "print every compared benchmark, not only regressions")
+	chain := flag.Bool("chain", false, "diff consecutive snapshots of the numerically sorted file list")
+	printLatest := flag.Bool("print-latest", false, "print the numerically newest snapshot name and exit")
+	summary := flag.String("summary", "", "append a Markdown report to this file (CI: $GITHUB_STEP_SUMMARY)")
+	flag.Parse()
+
+	if *printLatest {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -print-latest SNAPSHOT...")
+			os.Exit(2)
+		}
+		sorted := SortSnapshots(flag.Args())
+		fmt.Println(sorted[len(sorted)-1])
+		return
+	}
+
+	var files []string
+	switch {
+	case *chain:
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -chain [flags] SNAPSHOT SNAPSHOT...")
+			os.Exit(2)
+		}
+		files = SortSnapshots(flag.Args())
+	default:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+			os.Exit(2)
+		}
+		files = flag.Args()
+	}
+
+	opt := Options{Tol: *tol, AllocTol: *allocTol, NsFloor: *nsFloor, AllocSlack: *allocSlack}
+	var md *strings.Builder
+	if *summary != "" {
+		md = &strings.Builder{}
+	}
+	// The summary is flushed before any exit — including a mid-chain load
+	// failure — so the run page keeps the report of every pair already
+	// compared.
+	flushSummary := func() {
+		if md == nil {
+			return
+		}
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := f.WriteString(md.String()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	bad := 0
+	for i := 1; i < len(files); i++ {
+		n, err := diffFiles(files[i-1], files[i], opt, *verbose, md)
+		if err != nil {
+			if md != nil {
+				fmt.Fprintf(md, "### benchdiff `%s` → `%s`: ⚠️ %v\n\n", files[i-1], files[i], err)
+			}
+			flushSummary()
+			fatal(err)
+		}
+		bad += n
+	}
+	flushSummary()
 	if bad > 0 {
 		os.Exit(1)
 	}

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func f(v float64) *float64 { return &v }
 
@@ -104,5 +107,67 @@ func TestCompareSeparateAllocTolerance(t *testing.T) {
 	}
 	if !deltas[0].AllocsRegressed {
 		t.Fatalf("alloc regression missed under tight alloc tolerance: %+v", deltas[0])
+	}
+}
+
+func TestSortSnapshotsNumeric(t *testing.T) {
+	// The shell's `ls | sort -V` ordering broke down on double-digit
+	// indices in some locales; the tool owns the ordering now, numerically.
+	got := SortSnapshots([]string{
+		"BENCH_10.json", "BENCH_2.json", "BENCH_1.json", "BENCH_5.json", "BENCH_21.json",
+	})
+	want := []string{"BENCH_1.json", "BENCH_2.json", "BENCH_5.json", "BENCH_10.json", "BENCH_21.json"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSortSnapshotsPathsAndStragglers(t *testing.T) {
+	got := SortSnapshots([]string{"/tmp/BENCH_12.json", "BENCH_3.json", "BENCH_base.json"})
+	want := []string{"BENCH_base.json", "BENCH_3.json", "/tmp/BENCH_12.json"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if n, ok := snapshotIndex("BENCH_42.json"); !ok || n != 42 {
+		t.Fatalf("snapshotIndex(BENCH_42.json) = %d, %v", n, ok)
+	}
+	if _, ok := snapshotIndex("BENCH.json"); ok {
+		t.Fatal("index found in an unnumbered name")
+	}
+}
+
+func TestMarkdownSummary(t *testing.T) {
+	old := []result{
+		{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(100)},
+		{Name: "BenchmarkGone", NsPerOp: 1e6},
+	}
+	new := []result{
+		{Name: "BenchmarkA", NsPerOp: 2e6, AllocsPerOp: f(100)},
+		{Name: "BenchmarkNew", NsPerOp: 1e6},
+	}
+	deltas, added, removed := Compare(old, new, opts())
+	var b strings.Builder
+	Markdown(&b, "BENCH_1.json", "BENCH_2.json", deltas, added, removed, opts())
+	out := b.String()
+	for _, want := range []string{
+		"### benchdiff `BENCH_1.json` → `BENCH_2.json`: ❌ 1 regression(s)",
+		"| BenchmarkA | 1000000 → 2000000 | +100.0% | 100 → 100 | **ns regression** |",
+		"- added: `BenchmarkNew`",
+		"- **removed**: `BenchmarkGone`",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// A clean small comparison lists every benchmark instead.
+	deltas, added, removed = Compare(old[:1], old[:1], opts())
+	b.Reset()
+	Markdown(&b, "a.json", "b.json", deltas, added, removed, opts())
+	if out := b.String(); !strings.Contains(out, "✅ clean") || !strings.Contains(out, "| BenchmarkA |") {
+		t.Errorf("clean summary malformed:\n%s", out)
 	}
 }

@@ -1,7 +1,9 @@
 // Command simfigs regenerates the paper's evaluation — Figures 1–6 and
 // Table 3 — plus the repository's segmented-broadcast extension: Figure 7
-// (segment-size sweep on the GRID5000 platform) and Figure 8 (the same
-// sweep on Table 2 random platforms with size-dependent gaps).
+// (segment-size sweep on the GRID5000 platform), Figure 8 (the same sweep
+// on Table 2 random platforms with size-dependent gaps), and Figures 9-10
+// (the local-segmentation ablation: the end-to-end pipeline's gain over the
+// coordinator-only one, on GRID5000 and on random clustered platforms).
 //
 // Usage:
 //
@@ -29,11 +31,11 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate: 1..8 or 'all'")
+		fig      = flag.String("fig", "", "figure to regenerate: 1..10 or 'all'")
 		table    = flag.Int("table", 0, "table to regenerate: 3")
 		iters    = flag.Int("iters", 10000, "Monte-Carlo iterations (figures 1-4 and 8)")
 		scanW    = flag.Int("scan-workers", 0, "per-construction scan workers (the Session API's WithScanWorkers); 0/1 = sequential engine, figures are identical either way")
-		segN     = flag.Int("segclusters", 10, "cluster count for the random segment sweep (figure 8)")
+		segN     = flag.Int("segclusters", 10, "cluster count for the random segment sweeps (figures 8 and 10)")
 		seed     = flag.Int64("seed", 42, "random seed")
 		outDir   = flag.String("out", "results", "output directory for .dat/.csv files")
 		plot     = flag.Bool("plot", false, "also print ASCII plots")
@@ -89,14 +91,18 @@ func main() {
 			return experiment.FigSegments(experiment.SegmentSweep{Grid: fixedGrid})
 		},
 		"8": func() (*experiment.Figure, error) { return mc.FigSegmentsRandom(*segN, nil, nil), nil },
+		"9": func() (*experiment.Figure, error) {
+			return experiment.FigLocalSegments(experiment.SegmentSweep{Grid: fixedGrid})
+		},
+		"10": func() (*experiment.Figure, error) { return mc.FigLocalSegmentsRandom(*segN, nil, nil), nil },
 	}
 
 	var ids []string
 	if *fig == "all" {
-		ids = []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+		ids = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"}
 	} else {
 		if _, err := strconv.Atoi(*fig); err != nil || figs[*fig] == nil {
-			fatal(fmt.Errorf("unknown figure %q (want 1..8 or all)", *fig))
+			fatal(fmt.Errorf("unknown figure %q (want 1..10 or all)", *fig))
 		}
 		ids = []string{*fig}
 	}

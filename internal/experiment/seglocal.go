@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	gridbcast "gridbcast"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
+)
+
+// Local-segmentation ablation (DESIGN.md §7, end-to-end pipeline): the gain
+// of streaming segments below the coordinators, isolated from the wide-area
+// pipelining gain by comparing the SegmentedLocal plan against the
+// coordinator-only plan at the SAME segmentation. Ratios are <= 1 by the
+// per-cluster min-model; how far below 1 they drop is what these figures
+// measure.
+
+// FigLocalSegments sweeps the isolation ratio on a fixed platform
+// (default GRID5000): one series per message size, x = segment count,
+// y = SegmentedLocal makespan / coordinator-only makespan.
+func FigLocalSegments(cfg SegmentSweep) (*Figure, error) {
+	g := cfg.grid()
+	base := cfg.base()
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("segmented local phase on %d clusters, %s (relative to coordinator-only)", g.N(), base.Name()),
+		XLabel: "segments",
+		YLabel: "relative completion time",
+	}
+	for _, m := range cfg.sizes() {
+		s := Series{Name: sizeLabel(m)}
+		for _, count := range cfg.counts() {
+			segSize := segSizeFor(m, count)
+			coord, err := sched.NewSegmentedProblem(g, cfg.Root, m, segSize, sched.Options{})
+			if err != nil {
+				return nil, err
+			}
+			local, err := sched.NewSegmentedProblem(g, cfg.Root, m, segSize, sched.Options{SegmentedLocal: true})
+			if err != nil {
+				return nil, err
+			}
+			ratio := sched.ScheduleSegmented(base, local).Makespan / sched.ScheduleSegmented(base, coord).Makespan
+			s.Points = append(s.Points, Point{X: float64(count), Y: ratio})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// FigLocalSegmentsRandom repeats the isolation sweep on random multi-node
+// platforms (topology.RandomClusteredGrid — RandomSizedGrid's wide-area
+// draws with real 2-32-node clusters, since modelled BcastTime clusters
+// have no tree to stream), averaging the ratio over the Monte-Carlo
+// distribution at n clusters. Deterministic at any worker count (the
+// ordered-fold pattern of FigSegmentsRandom).
+func (mc MonteCarlo) FigLocalSegmentsRandom(n int, sizes []int64, counts []int) *Figure {
+	if len(sizes) == 0 {
+		sizes = DefaultSegmentSizes
+	}
+	if len(counts) == 0 {
+		counts = DefaultSegmentCounts
+	}
+	iters := mc.iterations()
+	nw := mc.workers()
+	ratios := make([][]float64, iters)
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			segPlan := func(sess *gridbcast.Session, root int, m, segSize int64, local bool) float64 {
+				var localOpt gridbcast.Option
+				if local {
+					localOpt = gridbcast.WithSegmentedLocal()
+				}
+				plan, err := sess.Plan(gridbcast.NewRequest(
+					gridbcast.WithHeuristic(gridbcast.Mixed),
+					gridbcast.WithRoot(root), gridbcast.WithSize(m),
+					gridbcast.WithSegments(segSize), localOpt))
+				if err != nil {
+					panic(err)
+				}
+				return plan.Makespan
+			}
+			for it := w; it < iters; it += nw {
+				r := stats.NewRand(stats.SplitSeed(mc.Seed, int64(it)*3000017+int64(n)))
+				g := topology.RandomClusteredGrid(r, n)
+				root := mc.Root
+				if root < 0 {
+					root = r.Intn(n)
+				}
+				sess, err := gridbcast.NewSession(g)
+				if err != nil {
+					panic(err)
+				}
+				row := make([]float64, len(sizes)*len(counts))
+				for si, m := range sizes {
+					for ci, count := range counts {
+						segSize := segSizeFor(m, count)
+						coord := segPlan(sess, root, m, segSize, false)
+						row[si*len(counts)+ci] = segPlan(sess, root, m, segSize, true) / coord
+					}
+				}
+				ratios[it] = row
+			}
+		}(w)
+	}
+	wg.Wait()
+	accs := make([][]stats.Accumulator, len(sizes))
+	for si := range sizes {
+		accs[si] = make([]stats.Accumulator, len(counts))
+	}
+	for _, row := range ratios {
+		for si := range sizes {
+			for ci := range counts {
+				accs[si][ci].Add(row[si*len(counts)+ci])
+			}
+		}
+	}
+
+	fig := &Figure{
+		ID:     "fig10",
+		Title:  fmt.Sprintf("segmented local phase, %d random clustered platforms x %d iterations (relative to coordinator-only)", n, iters),
+		XLabel: "segments",
+		YLabel: "relative completion time",
+	}
+	for si, m := range sizes {
+		s := Series{Name: sizeLabel(m)}
+		for ci, count := range counts {
+			s.Points = append(s.Points, Point{X: float64(count), Y: accs[si][ci].Mean(), CI: accs[si][ci].CI95()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestFigLocalSegmentsGrid5000 checks the local-segmentation ablation on
+// the paper's platform: every ratio respects the min-model bound (<= 1, up
+// to float noise), a single segment is exactly neutral, and large messages
+// at fine segmentation actually gain.
+func TestFigLocalSegmentsGrid5000(t *testing.T) {
+	fig, err := FigLocalSegments(SegmentSweep{
+		Sizes:  []int64{1 << 20, 16 << 20},
+		Counts: []int{1, 16, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y > 1+1e-12 {
+				t.Errorf("%s at %g segments: ratio %g above 1 (min-model violated)", s.Name, p.X, p.Y)
+			}
+			if p.X == 1 && p.Y != 1 {
+				t.Errorf("%s: unsegmented ratio %g, want exactly 1", s.Name, p.Y)
+			}
+		}
+	}
+	s16 := fig.SeriesByName("16 MB")
+	if s16 == nil {
+		t.Fatal("missing 16 MB series")
+	}
+	gained := false
+	for _, p := range s16.Points {
+		if p.Y < 0.999 {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("no local-segmentation gain at 16 MB on Grid5000")
+	}
+}
+
+// TestFigLocalSegmentsRandom checks the Monte-Carlo ablation on random
+// clustered platforms: bounded ratios and worker-count determinism (the
+// ordered-fold contract every figure in this package carries).
+func TestFigLocalSegmentsRandom(t *testing.T) {
+	sizes := []int64{4 << 20}
+	counts := []int{1, 32}
+	one := MonteCarlo{Iterations: 6, Seed: 7, Workers: 1}.FigLocalSegmentsRandom(8, sizes, counts)
+	four := MonteCarlo{Iterations: 6, Seed: 7, Workers: 4}.FigLocalSegmentsRandom(8, sizes, counts)
+	for _, s := range one.Series {
+		for _, p := range s.Points {
+			if p.Y > 1+1e-12 || p.Y <= 0 {
+				t.Errorf("%s at %g segments: ratio %g out of (0, 1]", s.Name, p.X, p.Y)
+			}
+		}
+	}
+	if len(one.Series) != len(four.Series) {
+		t.Fatal("series count differs across worker counts")
+	}
+	for i := range one.Series {
+		a, b := one.Series[i], four.Series[i]
+		if a.Name != b.Name || len(a.Points) != len(b.Points) {
+			t.Fatalf("series %d shape differs across worker counts", i)
+		}
+		for j := range a.Points {
+			if a.Points[j] != b.Points[j] {
+				t.Errorf("series %s point %d differs across worker counts: %+v vs %+v",
+					a.Name, j, a.Points[j], b.Points[j])
+			}
+		}
+	}
+}

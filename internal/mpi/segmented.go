@@ -7,7 +7,11 @@ package mpi
 // in internal/sched/segmented.go: with an ideal network the measured
 // makespan reproduces the analytic one (up to event-scheduling rounding),
 // which the integration tests pin. Local broadcasts below the coordinators
-// stay whole-message, matching the analytic T_i.
+// follow the schedule's per-cluster decision: clusters marked in
+// LocalSegmented stream each segment down their local tree as it arrives
+// (after any wide-area sends — the coordinator's NIC serialises), matching
+// the analytic T_i(s, K); the rest broadcast the reassembled message whole,
+// matching T_i.
 
 import (
 	"fmt"
@@ -24,7 +28,8 @@ import (
 // (plus per-cluster local broadcasts of the reassembled message) on grid g.
 // The schedule must be valid for the grid, message size and segmentation.
 func ExecuteSegmentedSchedule(g *topology.Grid, ss *sched.SegmentedSchedule, opt Options) (*Result, error) {
-	sp, err := sched.NewSegmentedProblem(g, ss.Root, ss.MsgSize, ss.SegSize, sched.Options{IntraShape: opt.IntraShape, Overlap: opt.Overlap})
+	sp, err := sched.NewSegmentedProblem(g, ss.Root, ss.MsgSize, ss.SegSize,
+		sched.Options{IntraShape: opt.IntraShape, Overlap: opt.Overlap, SegmentedLocal: ss.LocalSeg})
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +69,8 @@ func ExecuteSegmentedSchedule(g *topology.Grid, ss *sched.SegmentedSchedule, opt
 		CoordinatorArrival: make([]float64, n),
 	}
 	for c := 0; c < n; c++ {
-		startSegmentedCluster(env, nw, g, sp, c, c == ss.Root, offsets[c], sends[c], offsets, opt, res)
+		localSeg := ss.LocalSeg && ss.LocalSegmented[c]
+		startSegmentedCluster(env, nw, g, sp, c, c == ss.Root, localSeg, offsets[c], sends[c], offsets, opt, res)
 	}
 	env.Run()
 	if env.Live() != 0 {
@@ -89,14 +95,22 @@ func segSize(sp *sched.SegmentedProblem, q int) int64 {
 }
 
 // startSegmentedCluster spawns the coordinator (segment streaming) and local
-// node processes of one cluster.
+// node processes of one cluster. localSeg selects the streaming local phase:
+// the coordinator forwards each segment down the local pipelined chain (the
+// streaming shape of sched's per-segment model) as soon as it holds it (and
+// its wide-area sends are done), and every node relays segment-major,
+// reproducing the analytic T_i(s, K).
 func startSegmentedCluster(env *sim.Env, nw *vnet.Network, g *topology.Grid, sp *sched.SegmentedProblem,
-	c int, isRoot bool, coord int, destinations []int, offsets []int, opt Options, res *Result) {
+	c int, isRoot, localSeg bool, coord int, destinations []int, offsets []int, opt Options, res *Result) {
 
 	cl := g.Clusters[c]
 	var tree *intracluster.Tree
 	if cl.BcastTime == 0 && cl.Nodes > 1 {
-		tree = intracluster.New(opt.IntraShape, cl.Nodes)
+		if localSeg {
+			tree = intracluster.New(intracluster.Chain, cl.Nodes)
+		} else {
+			tree = intracluster.New(opt.IntraShape, cl.Nodes)
+		}
 	}
 
 	env.Process(fmt.Sprintf("coord-%s", cl.Name), func(p *sim.Proc) {
@@ -124,6 +138,19 @@ func startSegmentedCluster(env *sim.Env, nw *vnet.Network, g *topology.Grid, sp 
 				nw.SendSeg(p, coord, offsets[dst], segSize(sp, q), q, TagInter, nil)
 			}
 		}
+		if localSeg && tree != nil {
+			// Streaming local phase: forward each segment to every local
+			// child as it arrives. On sender coordinators every segment is
+			// already held here, so the local stream starts at the wide-area
+			// idle time; leaf coordinators interleave receive and forward.
+			for q := 0; q < sp.K; q++ {
+				recvThrough(q)
+				for _, child := range tree.Children[0] {
+					nw.SendSeg(p, coord, coord+child, segSize(sp, q), q, TagIntra, nil)
+				}
+			}
+			return
+		}
 		recvThrough(sp.K - 1) // drain the stream on leaf coordinators
 		// Local broadcast of the reassembled message: the modelled fixed
 		// time or a real whole-message tree, as in ExecuteSchedule.
@@ -144,6 +171,25 @@ func startSegmentedCluster(env *sim.Env, nw *vnet.Network, g *topology.Grid, sp 
 		return
 	}
 	for r := 1; r < cl.Nodes; r++ {
+		if localSeg {
+			env.Process(fmt.Sprintf("%s-%d", cl.Name, r), func(p *sim.Proc) {
+				for q := 0; q < sp.K; q++ {
+					msg := nw.RecvMatch(p, coord+r, func(msg *vnet.Message) bool { return msg.Tag == TagIntra })
+					if msg.Seg != q {
+						panic(fmt.Sprintf("mpi: %s-%d received local segment %d, want %d", cl.Name, r, msg.Seg, q))
+					}
+					for _, child := range tree.Children[r] {
+						nw.SendSeg(p, coord+r, coord+child, segSize(sp, q), q, TagIntra, nil)
+					}
+					// The last segment's arrival at the slowest node closes
+					// the cluster's streamed local broadcast.
+					if q == sp.K-1 && msg.ArrivedAt > res.ClusterCompletion[c] {
+						res.ClusterCompletion[c] = msg.ArrivedAt
+					}
+				}
+			})
+			continue
+		}
 		env.Process(fmt.Sprintf("%s-%d", cl.Name, r), func(p *sim.Proc) {
 			msg := nw.RecvMatch(p, coord+r, func(msg *vnet.Message) bool { return msg.Tag == TagIntra })
 			for _, child := range tree.Children[r] {

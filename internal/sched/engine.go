@@ -442,8 +442,9 @@ func (h *laHeap) top(inA []bool) laEntry {
 
 // ---------------------------------------------------------------------------
 // Lookahead set: the cached F(j) extrema shared by the unsegmented and
-// segmented ECEF-family engines (the lookahead always ranks full-message
-// utility, so both engines key it off p.W and p.T).
+// segmented ECEF-family engines. The lookahead ranks whole-future utility
+// off p.W and p.T; segmented problems pass their laProblem view, whose T is
+// the effective local-phase duration vector.
 
 // lookaheadSet holds the per-receiver lookahead heaps and their cached
 // extrema.

@@ -76,10 +76,14 @@ type segTranspose struct {
 // laTemplateKey identifies a cached lookahead template: the full-message W
 // matrix (by identity — the matrix is immutable and shared via the grid's
 // EdgeCosts cache, and holding the pointer pins it, so the key cannot be
-// recycled for different values) and the lookahead kind.
+// recycled for different values), the lookahead kind, and whether the T
+// vector is the end-to-end pipeline's TL (whose values also depend on the
+// segmentation, so the exact T-vector guard still applies within a key —
+// the flag only keeps the two modes from evicting each other).
 type laTemplateKey struct {
-	w    *float64
-	kind laKind
+	w     *float64
+	kind  laKind
+	local bool
 }
 
 // laTemplate is a root-independent snapshot of the heapified lookahead
@@ -193,15 +197,16 @@ func (ep *EnginePool) ecefFor(h ecef, p *Problem) *ecefEngine {
 	e := &ep.ecefShell
 	*e = ecefEngine{h: h, rc: ep.rc}
 	if h.kind != laNone {
-		ep.loadLookahead(&e.lookaheadSet, h, p)
+		ep.loadLookahead(&e.lookaheadSet, h, p, false)
 	}
 	return e
 }
 
 // loadLookahead readies a lookahead set from the platform's cached
-// template, pointing it at the pool's working buffers.
-func (ep *EnginePool) loadLookahead(ls *lookaheadSet, h ecef, p *Problem) {
-	tpl := ep.template(h, p)
+// template, pointing it at the pool's working buffers. local marks p as a
+// segmented problem's TL view (laProblem), cached under its own key.
+func (ep *EnginePool) loadLookahead(ls *lookaheadSet, h ecef, p *Problem, local bool) {
+	tpl := ep.template(h, p, local)
 	copy(ep.laBacking, tpl.backing)
 	for j := 0; j < p.N; j++ {
 		lo, hi := tpl.off[j], tpl.off[j+1]
@@ -230,13 +235,20 @@ func (ep *EnginePool) loadLookahead(ls *lookaheadSet, h ecef, p *Problem) {
 // pool's recycled segmented engines. The result is identical to
 // ScheduleSegmented(h, sp) in every field; steady-state construction reuses
 // the candidate caches, the per-segment transposes and the lookahead
-// templates (the lookahead keys off the full-message W and T, so templates
-// are shared with the unsegmented engines — any segment size, same
-// platform).
+// templates (the lookahead keys off the full-message W and the effective T
+// vector, so plain-T templates are shared with the unsegmented engines —
+// any segment size, same platform — while the end-to-end pipeline's TL
+// views get their own key).
 func (ep *EnginePool) ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
 	if referencePick || sp.N < segEngineMinN {
 		return ScheduleSegmented(h, sp)
 	}
+	return coordGuard(h, sp, func(spx *SegmentedProblem) *SegmentedSchedule {
+		return ep.scheduleSegmentedOnce(h, spx)
+	})
+}
+
+func (ep *EnginePool) scheduleSegmentedOnce(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
 	var pol segPolicy
 	switch hh := h.(type) {
 	case FlatTree:
@@ -250,7 +262,10 @@ func (ep *EnginePool) ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *Segm
 		e := &ep.segEcefShel
 		*e = segEcefEngine{h: hh, rc: ep.segRc}
 		if hh.kind != laNone {
-			ep.loadLookahead(&e.lookaheadSet, hh, sp.Problem)
+			// The local key flag follows the lookahead problem actually
+			// used: the coordinator-estimate pass of coordGuard strips the
+			// TL view and must share the plain-T template.
+			ep.loadLookahead(&e.lookaheadSet, hh, sp.laProblem(), sp.lap != nil)
 		}
 		pol = e
 	case BottomUp:
@@ -258,11 +273,11 @@ func (ep *EnginePool) ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *Segm
 		ep.segBuShell = segBuEngine{rc: ep.segRc}
 		pol = &ep.segBuShell
 	case Mixed:
-		ss := ep.ScheduleSegmented(hh.inner(sp.Problem), sp)
+		ss := ep.scheduleSegmentedOnce(hh.inner(sp.Problem), sp)
 		ss.Heuristic = hh.Name()
 		return ss
 	default:
-		return ScheduleSegmented(h, sp)
+		return scheduleSegmentedOnce(h, sp)
 	}
 	ss := runSegmented(pol, sp)
 	ss.Heuristic = h.Name()
@@ -322,8 +337,8 @@ const maxTemplates = 32
 
 // template returns (building and caching on demand) the root-independent
 // lookahead template for h's kind on p's platform.
-func (ep *EnginePool) template(h ecef, p *Problem) *laTemplate {
-	key := laTemplateKey{w: &p.W[0][0], kind: h.kind}
+func (ep *EnginePool) template(h ecef, p *Problem, local bool) *laTemplate {
+	key := laTemplateKey{w: &p.W[0][0], kind: h.kind, local: local}
 	if tpl := ep.templates[key]; tpl != nil && tpl.n == p.N &&
 		(h.kind == laMinW || floatsEqual(tpl.t, p.T)) {
 		return tpl

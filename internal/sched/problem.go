@@ -80,6 +80,19 @@ type Options struct {
 	// "counts on": completion_i = RT_i + T_i). The §6 Monte-Carlo figures
 	// use Overlap=true; see EXPERIMENTS.md for the evidence.
 	Overlap bool
+	// SegmentedLocal extends segmentation below the coordinators
+	// (segmented problems only; NewProblem ignores it): the intra-cluster
+	// trees forward segment by segment under the per-segment timing model
+	// T_i(s, K) (intracluster.SegmentedCompletion), with the completion
+	// model applied per segment — under Overlap a cluster's local tree
+	// consumes segment q from its wide-area arrival RT_i(q); without it,
+	// from max(busy_i, RT_i(q)), so leaf coordinators still stream (their
+	// NIC is idle) while senders start after their last wide-area send.
+	// Each cluster adopts the segmented local phase only when the model
+	// says it wins (min with the whole-message T_i), so schedules are
+	// never worse than the coordinator-only pipeline; with K == 1 the
+	// option is inert and schedules are byte-identical to it.
+	SegmentedLocal bool
 }
 
 // NewProblem costs a grid for a broadcast of m bytes rooted at cluster

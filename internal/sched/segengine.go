@@ -29,9 +29,11 @@ package sched
 // re-keying of engine.go applies verbatim — entries just carry their static
 // Gs and Wl alongside the key.
 //
-// The ECEF-family lookahead F(j) ranks full-message utility (it uses the
-// unsegmented W and T), so the lookaheadSet of engine.go is shared as-is —
-// including the EnginePool's root-independent templates. FEF's weights are
+// The ECEF-family lookahead F(j) ranks whole-future utility over the
+// unsegmented W plus the effective local-phase durations (laProblem: the
+// Problem's T, or TL = min(T(s,K), T(m)) under the end-to-end pipeline), so
+// the lookaheadSet of engine.go is shared as-is — including the EnginePool's
+// root-independent templates, keyed per mode. FEF's weights are
 // segmentation-independent, so its segmented engine is the unsegmented
 // fefEngine behind an A-membership shim; FlatTree gets the same cursor.
 //
@@ -308,7 +310,7 @@ type segEcefEngine struct {
 func newSegEcefEngine(h ecef, sp *SegmentedProblem) *segEcefEngine {
 	e := &segEcefEngine{h: h, rc: newSegRecvCache(sp)}
 	if h.kind != laNone {
-		e.build(h, sp.Problem)
+		e.build(h, sp.laProblem())
 	}
 	return e
 }
@@ -357,13 +359,14 @@ func (e *segBuEngine) segName() string { return BottomUp{}.Name() }
 
 func (e *segBuEngine) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 	e.rc.sync(st)
+	ts := sp.estT()
 	worst := math.Inf(-1)
 	bi, bj := -1, -1
 	for j := 0; j < sp.N; j++ {
 		if st.inA[j] {
 			continue
 		}
-		if c := e.rc.cKey[j] + sp.T[j]; c > worst {
+		if c := e.rc.cKey[j] + ts[j]; c > worst {
 			worst, bi, bj = c, int(e.rc.cSnd[j]), j
 		}
 	}

@@ -42,6 +42,8 @@ import (
 	"fmt"
 	"math"
 
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/plogp"
 	"gridbcast/internal/topology"
 )
 
@@ -58,13 +60,59 @@ type SegmentedProblem struct {
 	// and W, so costs are bit-identical to the unsegmented model. Like the
 	// Problem matrices they alias the grid's cache and are read-only.
 	Gs, Gl, Wl [][]float64
+	// LocalSeg marks the end-to-end pipeline (Options.SegmentedLocal with
+	// K > 1 on a platform with at least one tree-based local phase): the
+	// per-cluster fields below drive the per-segment completion model and
+	// the TL-based cost estimates. When false they are all nil and every
+	// code path is byte-identical to the coordinator-only pipeline.
+	LocalSeg bool
+
+	// segSizes is the per-segment payload vector (K-1 SegSize entries plus
+	// LastSize); local holds each tree-based cluster's local broadcast tree
+	// and parameters (zero entries for modelled/single-node clusters); TL is
+	// min(T_i(s,K), T_i(m)), the local-phase duration the greedies estimate
+	// with; lap is the Problem with T replaced by TL, feeding the
+	// T-dependent lookahead variants.
+	segSizes []int64
+	local    []localSegModel
+	TL       []float64
+	lap      *Problem
+}
+
+// localSegModel is one cluster's segmented local broadcast model: the
+// streaming tree (the pipelined chain — see segmentLocal for why) and the
+// cluster's intra parameters.
+type localSegModel struct {
+	tree   *intracluster.Tree
+	params plogp.Params
+}
+
+// estT returns the local-phase durations the candidate cost estimates use:
+// TL under the end-to-end pipeline, the whole-message T otherwise (aliased,
+// so unsegmented-local costs stay bit-identical).
+func (sp *SegmentedProblem) estT() []float64 {
+	if sp.TL != nil {
+		return sp.TL
+	}
+	return sp.T
+}
+
+// laProblem returns the Problem whose T feeds the ECEF-family lookahead
+// terms: the TL view under the end-to-end pipeline, the Problem itself
+// otherwise.
+func (sp *SegmentedProblem) laProblem() *Problem {
+	if sp.lap != nil {
+		return sp.lap
+	}
+	return sp.Problem
 }
 
 // NewSegmentedProblem costs a grid for a pipelined broadcast of m bytes in
 // segments of segSize bytes rooted at cluster root. segSize >= m (or K == 1)
-// reproduces the unsegmented problem exactly. The per-cluster local
-// broadcast time T_i still covers the full message: local trees below the
-// coordinators are not segmented (see DESIGN.md §7).
+// reproduces the unsegmented problem exactly. By default the per-cluster
+// local broadcast time T_i covers the full message; opt.SegmentedLocal
+// extends the pipeline below the coordinators (see DESIGN.md §7 and the
+// Options field).
 func NewSegmentedProblem(g *topology.Grid, root int, m, segSize int64, opt Options) (*SegmentedProblem, error) {
 	p, err := NewProblem(g, root, m, opt)
 	if err != nil {
@@ -97,6 +145,8 @@ func NewSegmentedProblem(g *topology.Grid, root int, m, segSize int64, opt Optio
 	}
 	if k == 1 {
 		// Single segment: the "last" (only) segment is the whole message.
+		// SegmentedLocal is inert here by design — the K = 1 degeneracy
+		// keeps one-segment schedules byte-identical either way.
 		sp.Gs, sp.Gl, sp.Wl = p.G, p.G, p.W
 		return sp, nil
 	}
@@ -108,7 +158,58 @@ func NewSegmentedProblem(g *topology.Grid, root int, m, segSize int64, opt Optio
 		ecl := g.EdgeCosts(last)
 		sp.Gl, sp.Wl = ecl.G, ecl.W
 	}
+	if opt.SegmentedLocal {
+		sp.segmentLocal(g, opt)
+	}
 	return sp, nil
+}
+
+// segmentLocal equips sp with the end-to-end pipeline state: a streaming
+// tree per tree-based cluster, T_i(s,K) folded (through a min with T_i(m))
+// into the TL estimate vector, and the lookahead view of the Problem.
+//
+// The streamed local phase uses the pipelined CHAIN, not the configured
+// whole-message shape: under the gap model a fan-out node re-pays the
+// per-segment fixed gap once per child and segment, so a streamed binomial
+// tree is never faster than its whole-message self (the root alone moves
+// children·m bytes — already the whole tree's critical path), while the
+// chain moves m bytes per hop and absorbs its depth in the pipeline —
+// T_chain(s,K) ≈ (p-2+K)·g(s), the classical large-message broadcast MPI
+// runtimes (and the authors' earlier intra-cluster tuning work) switch to.
+// Each cluster keeps the faster of the streamed chain and the whole-message
+// tree, so no cluster ever loses the trade. Platforms whose every cluster
+// has a modelled BcastTime or a single node (the §6 Monte-Carlo setting)
+// have no local tree to segment; sp then stays in coordinator-only mode and
+// remains byte-identical to it.
+func (sp *SegmentedProblem) segmentLocal(g *topology.Grid, opt Options) {
+	p := sp.Problem
+	sizes := intracluster.SegmentSizes(sp.SegSize, sp.LastSize, sp.K)
+	local := make([]localSegModel, p.N)
+	tl := make([]float64, p.N)
+	any := false
+	for i := 0; i < p.N; i++ {
+		c := g.Clusters[i]
+		tl[i] = p.T[i]
+		if c.BcastTime > 0 || c.Nodes <= 1 {
+			continue
+		}
+		tr := intracluster.New(intracluster.Chain, c.Nodes)
+		local[i] = localSegModel{tree: tr, params: c.Intra}
+		any = true
+		if tk := tr.SegmentedCompletion(c.Intra, sizes, nil); tk < tl[i] {
+			tl[i] = tk
+		}
+	}
+	if !any {
+		return
+	}
+	sp.LocalSeg = true
+	sp.segSizes = sizes
+	sp.local = local
+	sp.TL = tl
+	lap := *p
+	lap.T = tl
+	sp.lap = &lap
 }
 
 // MustSegmentedProblem is NewSegmentedProblem that panics on error.
@@ -139,9 +240,17 @@ type SegmentedSchedule struct {
 	FirstRT, RT []float64
 	// Idle[i] is when cluster i stops wide-area sending and can start its
 	// local broadcast; Completion[i] adds T_i per the problem's completion
-	// model. Makespan is max(Completion).
+	// model — or, under the end-to-end pipeline, the per-segment local
+	// completion (see LocalSegmented). Makespan is max(Completion).
 	Idle, Completion []float64
 	Makespan         float64
+	// LocalSeg echoes the problem's end-to-end pipeline mode; when set,
+	// LocalSegmented[i] records whether cluster i's local tree streams
+	// segments (its per-segment completion beat the whole-message one) or
+	// broadcasts the reassembled message as before. Both stay zero for
+	// coordinator-only schedules, keeping them byte-identical to PR 2's.
+	LocalSeg       bool
+	LocalSegmented []bool
 }
 
 // segState is the mutable per-segment scheduling state.
@@ -228,6 +337,12 @@ func runSegmented(pol segPolicy, sp *SegmentedProblem) *SegmentedSchedule {
 			Start: start, SenderFree: free, Arrive: arrive,
 		})
 	}
+	var ready []float64
+	if sp.LocalSeg {
+		ss.LocalSeg = true
+		ss.LocalSegmented = make([]bool, sp.N)
+		ready = make([]float64, sp.K)
+	}
 	for i := 0; i < sp.N; i++ {
 		ss.FirstRT[i] = st.segAt[i][0]
 		ss.RT[i] = st.segAt[i][sp.K-1]
@@ -240,7 +355,30 @@ func runSegmented(pol segPolicy, sp *SegmentedProblem) *SegmentedSchedule {
 		if sp.Overlap {
 			start = ss.RT[i]
 		}
-		ss.Completion[i] = start + sp.T[i]
+		comp := start + sp.T[i]
+		if sp.LocalSeg && sp.local[i].tree != nil {
+			// Per-segment completion: the local tree consumes segment q from
+			// its wide-area arrival — floored, without the overlap model, by
+			// the coordinator's last wide-area send (its NIC serialises; a
+			// leaf coordinator's is idle, so leaves always stream). The
+			// cluster keeps whichever local mode the model says is faster.
+			base := 0.0
+			if !sp.Overlap && st.sent[i] {
+				base = st.busy[i]
+			}
+			for q := 0; q < sp.K; q++ {
+				r := st.segAt[i][q]
+				if r < base {
+					r = base
+				}
+				ready[q] = r
+			}
+			if segComp := sp.local[i].tree.SegmentedCompletion(sp.local[i].params, sp.segSizes, ready); segComp < comp {
+				comp = segComp
+				ss.LocalSegmented[i] = true
+			}
+		}
+		ss.Completion[i] = comp
 		if ss.Completion[i] > ss.Makespan {
 			ss.Makespan = ss.Completion[i]
 		}
@@ -311,9 +449,18 @@ func (ss *SegmentedSchedule) Validate(sp *SegmentedProblem) error {
 			return fmt.Errorf("sched: event %d timing inconsistent with the segmented model", k)
 		}
 	}
+	if ss.LocalSeg != want.LocalSeg {
+		return fmt.Errorf("sched: schedule local-segmentation mode %v does not match problem (%v)", ss.LocalSeg, want.LocalSeg)
+	}
+	if want.LocalSeg && len(ss.LocalSegmented) != sp.N {
+		return fmt.Errorf("sched: %d local-segmentation decisions for %d clusters", len(ss.LocalSegmented), sp.N)
+	}
 	for i := 0; i < sp.N; i++ {
 		if math.Abs(ss.RT[i]-want.RT[i]) > tol || math.Abs(ss.Completion[i]-want.Completion[i]) > tol {
 			return fmt.Errorf("sched: cluster %d timing inconsistent with the segmented model", i)
+		}
+		if want.LocalSeg && ss.LocalSegmented[i] != want.LocalSegmented[i] {
+			return fmt.Errorf("sched: cluster %d local-segmentation decision inconsistent with the model", i)
 		}
 	}
 	if math.Abs(ss.Makespan-want.Makespan) > tol {
@@ -365,13 +512,16 @@ func (f fefSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 
 // ecefSeg generalises the ECEF family: minimise the estimated last-segment
 // arrival max(busy_i + (K-1)·g_s, last_i) + W_last[i][j], plus the variant's
-// lookahead F_j (kept at full-message costs, as the lookahead ranks j's
-// utility for whole future transmissions).
+// lookahead F_j. The lookahead edge weights stay at full-message costs (it
+// ranks j's utility for whole future transmissions); its T term is the
+// effective local-phase duration — min(T_k(s,K), T_k(m)) under the
+// end-to-end pipeline, T_k otherwise (laProblem).
 type ecefSeg struct{ h ecef }
 
 func (e ecefSeg) segName() string { return e.h.name }
 
 func (e ecefSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
+	lap := sp.laProblem()
 	shim := &state{inA: st.inA}
 	best := math.Inf(1)
 	bi, bj := -1, -1
@@ -379,7 +529,7 @@ func (e ecefSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 		if st.inA[j] {
 			continue
 		}
-		fj := e.h.lookahead(sp.Problem, shim, j)
+		fj := e.h.lookahead(lap, shim, j)
 		for i := 0; i < sp.N; i++ {
 			if !st.inA[i] {
 				continue
@@ -394,25 +544,29 @@ func (e ecefSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 }
 
 // buSeg is BottomUp under segmentation: serve the receiver whose cheapest
-// estimated full-message completion is the largest.
+// estimated completion — last-segment arrival plus the effective local
+// phase (estT: min(T(s,K), T(m)) when the local trees stream) — is the
+// largest.
 type buSeg struct{}
 
 func (buSeg) segName() string { return BottomUp{}.Name() }
 
 func (buSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
+	ts := sp.estT()
 	worst := math.Inf(-1)
 	bi, bj := -1, -1
 	for j := 0; j < sp.N; j++ {
 		if st.inA[j] {
 			continue
 		}
+		tj := ts[j]
 		best := math.Inf(1)
 		argi := -1
 		for i := 0; i < sp.N; i++ {
 			if !st.inA[i] {
 				continue
 			}
-			if c := lastSegEstimate(sp, st, i, j) + sp.Wl[i][j] + sp.T[j]; c < best {
+			if c := lastSegEstimate(sp, st, i, j) + sp.Wl[i][j] + tj; c < best {
 				best, argi = c, i
 			}
 		}
@@ -423,13 +577,62 @@ func (buSeg) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 	return bi, bj
 }
 
+// usesTL reports whether h's segmented picker consumes the local-phase
+// duration estimates (estT/laProblem) — only then can the TL view steer it
+// to a different tree than the coordinator-only construction. FlatTree,
+// FEF and the T-free lookahead kinds never read T, and the non-native
+// fallback builds from sp.Problem's plain costs.
+func usesTL(h Heuristic, p *Problem) bool {
+	switch hh := h.(type) {
+	case ecef:
+		return hh.kind == laMinWT || hh.kind == laMaxWT
+	case BottomUp:
+		return true
+	case Mixed:
+		return usesTL(hh.inner(p), p)
+	}
+	return false
+}
+
+// coordGuard makes the end-to-end pipeline's never-worse bound structural.
+// The per-cluster min-model guarantees re-timing a FIXED tree never loses,
+// but the TL-based estimates may steer a greedy to a different wide-area
+// tree, and a greedy carries no optimality guarantee — so build also builds
+// the coordinator-estimate schedule (the TL view stripped: the exact pair
+// sequence the coordinator-only construction picks), re-timed end-to-end,
+// and the better of the two wins (ties to the TL-steered schedule). Since
+// the coordinator tree re-timed end-to-end is never worse than the
+// coordinator-only schedule itself, neither is the result. The guard is a
+// no-op outside the end-to-end pipeline and for pickers that never read
+// the TL estimates (both passes would be identical by construction).
+func coordGuard(h Heuristic, sp *SegmentedProblem, build func(*SegmentedProblem) *SegmentedSchedule) *SegmentedSchedule {
+	ss := build(sp)
+	if sp.lap == nil || !usesTL(h, sp.Problem) {
+		return ss
+	}
+	spc := *sp
+	spc.TL, spc.lap = nil, nil
+	if coord := build(&spc); coord.Makespan < ss.Makespan {
+		return coord
+	}
+	return ss
+}
+
 // ScheduleSegmented builds a pipelined schedule for sp with the segment-aware
 // variant of h. Every paper heuristic (and Mixed) has a native segmented
 // greedy — served by the incremental segmented engine (segengine.go), which
 // is bit-identical to the naive pickers retained below; other heuristics
 // fall back to their unsegmented tree, exactly re-timed under the
-// per-segment model.
+// per-segment model. Under the end-to-end pipeline the result is never
+// worse than h's coordinator-only schedule at the same segmentation
+// (coordGuard).
 func ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
+	return coordGuard(h, sp, func(spx *SegmentedProblem) *SegmentedSchedule {
+		return scheduleSegmentedOnce(h, spx)
+	})
+}
+
+func scheduleSegmentedOnce(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
 	var pol segPolicy
 	if referencePick || sp.N < segEngineMinN {
 		pol = segPolicyFor(h, sp)
@@ -451,15 +654,17 @@ func ScheduleSegmented(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
 // tested and benchmarked against. The produced schedules are identical to
 // ScheduleSegmented's in every field; only the construction cost differs.
 func ScheduleSegmentedReference(h Heuristic, sp *SegmentedProblem) *SegmentedSchedule {
-	pol := segPolicyFor(h, sp)
-	if pol == nil {
-		ss := EvaluateSegmented(sp, pairsOf(Reference{Base: h}.Schedule(sp.Problem)))
+	return coordGuard(h, sp, func(spx *SegmentedProblem) *SegmentedSchedule {
+		pol := segPolicyFor(h, spx)
+		if pol == nil {
+			ss := EvaluateSegmented(spx, pairsOf(Reference{Base: h}.Schedule(spx.Problem)))
+			ss.Heuristic = h.Name()
+			return ss
+		}
+		ss := runSegmented(pol, spx)
 		ss.Heuristic = h.Name()
 		return ss
-	}
-	ss := runSegmented(pol, sp)
-	ss.Heuristic = h.Name()
-	return ss
+	})
 }
 
 // segPolicyFor returns the native NAIVE segmented picker for h, or nil when

@@ -286,6 +286,31 @@ func RandomSizedGrid(r *rand.Rand, n int) *Grid {
 	return g
 }
 
+// RandomClusteredGrid is RandomSizedGrid with real multi-node clusters:
+// instead of the paper's modelled per-cluster broadcast time (Table 2's T
+// draw), each cluster gets a node count uniform in [2, 33) and LAN-class
+// intra parameters, so the local broadcast is an actual tree the
+// end-to-end pipeline (sched.Options.SegmentedLocal) can stream. Wide-area
+// links keep RandomSizedGrid's size-dependent gap split. The T values such
+// platforms induce (binomial over 2-32 nodes at 100 MB/s-class LANs) sit in
+// Table 2's range at the paper's 1 MB calibration size.
+func RandomClusteredGrid(r *rand.Rand, n int) *Grid {
+	g := RandomSizedGrid(r, n)
+	for i := range g.Clusters {
+		g.Clusters[i].BcastTime = 0
+		g.Clusters[i].Nodes = 2 + r.Intn(31)
+		// LAN-class intra link: ~100 MB/s bandwidth with a drawn fixed
+		// per-message gap (packet processing) and sub-millisecond latency.
+		fixed := uniform(r, 2e-5, 2e-4)
+		bw := uniform(r, 50e6, 200e6)
+		g.Clusters[i].Intra = plogp.Params{
+			L: uniform(r, 2e-5, 5e-4),
+			G: plogp.Linear(fixed, 1/bw),
+		}
+	}
+	return g
+}
+
 // RandomSymmetricGrid is RandomGrid with L and g drawn once per unordered
 // pair, so the link matrices are symmetric. The paper does not state whether
 // its draws are symmetric; both variants are provided and compared in an

@@ -1,0 +1,71 @@
+package gridbcast_test
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	gridbcast "gridbcast"
+)
+
+// TestWithSegmentedLocalValidation pins the facade-boundary contract: the
+// option needs a segmented plan.
+func TestWithSegmentedLocalValidation(t *testing.T) {
+	sess := mustSession(t, gridbcast.Grid5000())
+	_, err := sess.Plan(gridbcast.NewRequest(
+		gridbcast.WithSize(1<<20), gridbcast.WithSegmentedLocal()))
+	if err == nil || !strings.Contains(err.Error(), "WithSegmentedLocal") {
+		t.Fatalf("unsegmented WithSegmentedLocal accepted: %v", err)
+	}
+	if _, err := sess.Plan(gridbcast.NewRequest(
+		gridbcast.WithSize(1<<20), gridbcast.WithRefine(0),
+		gridbcast.WithPipelined(), gridbcast.WithSegmentedLocal())); err == nil {
+		t.Fatal("WithRefine + pipelined accepted")
+	}
+}
+
+// TestWithSegmentedLocalPlanAndExecute covers the full request path: the
+// plan reports the segmented local phase, is never worse than the
+// coordinator-only pipeline, and executes to its predicted makespan.
+func TestWithSegmentedLocalPlanAndExecute(t *testing.T) {
+	sess := mustSession(t, gridbcast.Grid5000())
+	const m = 16 << 20
+	base := mustPlan(t, sess,
+		gridbcast.WithHeuristic(gridbcast.Mixed), gridbcast.WithSize(m), gridbcast.WithPipelined())
+	local := mustPlan(t, sess,
+		gridbcast.WithHeuristic(gridbcast.Mixed), gridbcast.WithSize(m),
+		gridbcast.WithPipelined(), gridbcast.WithSegmentedLocal())
+	if !local.LocalSegmented {
+		t.Fatal("16 MB pipelined plan did not segment any local phase")
+	}
+	if local.Makespan > base.Makespan+1e-12 {
+		t.Errorf("segmented-local plan %g worse than coordinator-only %g", local.Makespan, base.Makespan)
+	}
+	res, err := sess.Execute(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-local.Makespan) > 1e-8 {
+		t.Errorf("executed %g != predicted %g", res.Makespan, local.Makespan)
+	}
+}
+
+// TestWithSegmentedLocalOneSegmentByteIdentical: fixed one-segment requests
+// keep the option inert — the produced segmented schedule is byte-identical
+// and the plan reports no local segmentation.
+func TestWithSegmentedLocalOneSegmentByteIdentical(t *testing.T) {
+	sess := mustSession(t, gridbcast.Grid5000())
+	const m = 1 << 20
+	plain := mustPlan(t, sess,
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT), gridbcast.WithSize(m), gridbcast.WithSegments(m))
+	local := mustPlan(t, sess,
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT), gridbcast.WithSize(m),
+		gridbcast.WithSegments(m), gridbcast.WithSegmentedLocal())
+	if local.LocalSegmented {
+		t.Error("one-segment plan claims a segmented local phase")
+	}
+	if !reflect.DeepEqual(plain.Segmented, local.Segmented) {
+		t.Error("one-segment WithSegmentedLocal schedule diverges from the coordinator-only one")
+	}
+}

@@ -91,6 +91,7 @@ type Request struct {
 	segSize     int64
 	segmented   bool
 	pipelined   bool
+	segLocal    bool
 	scanWorkers int
 	scanSet     bool
 	refine      int
@@ -138,6 +139,16 @@ func WithSegments(segSize int64) Option {
 // from the default candidate ladder; the result is never worse than the
 // unsegmented schedule. Mutually exclusive with WithSegments.
 func WithPipelined() Option { return func(r *Request) { r.pipelined = true } }
+
+// WithSegmentedLocal extends segmentation below the coordinators (segmented
+// and pipelined requests only): intra-cluster trees stream each segment as
+// it arrives under the per-segment timing model T_i(s, K), with the
+// completion model applied per segment. Every cluster keeps the faster of
+// the streamed and whole-message local phases, so the plan is never worse
+// than the coordinator-only pipeline; Plan.LocalSegmented reports whether
+// any cluster's local phase ended up segmented. With one-segment plans the
+// option is inert (byte-identical schedules).
+func WithSegmentedLocal() Option { return func(r *Request) { r.segLocal = true } }
 
 // WithScanWorkers parallelises the schedule construction itself: the
 // per-round candidate scans are sharded across w goroutines (w <= 0 means
@@ -210,6 +221,11 @@ type Plan struct {
 	// SegSize and K are the chosen segmentation (0 and 1 when unsegmented).
 	SegSize int64
 	K       int
+	// LocalSegmented reports whether the adopted schedule's local phase is
+	// segmented in at least one cluster (WithSegmentedLocal requests whose
+	// per-segment model actually won somewhere; the per-cluster decisions
+	// are in Segmented.LocalSegmented).
+	LocalSegmented bool
 	// Makespan is the predicted makespan of the adopted schedule.
 	Makespan float64
 	// Candidates lists every heuristic tried, in paper legend order, when
@@ -241,6 +257,9 @@ func (s *Session) validate(req Request) error {
 	}
 	if req.segmented && req.segSize <= 0 {
 		return fmt.Errorf("gridbcast: segment size %d must be positive", req.segSize)
+	}
+	if req.segLocal && !req.segmented && !req.pipelined {
+		return errors.New("gridbcast: WithSegmentedLocal needs a segmented plan (WithSegments or WithPipelined)")
 	}
 	if req.refineSet && (req.segmented || req.pipelined) {
 		return errors.New("gridbcast: WithRefine applies to unsegmented schedules only")
@@ -290,7 +309,7 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 	// own, one per segment size).
 	var p *sched.Problem
 	var sp *sched.SegmentedProblem
-	opt := sched.Options{Overlap: req.overlap}
+	opt := sched.Options{Overlap: req.overlap, SegmentedLocal: req.segLocal}
 	var err error
 	switch {
 	case req.pipelined:
@@ -330,6 +349,12 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 	}
 	if pl.Segmented != nil {
 		pl.SegSize, pl.K = pl.Segmented.SegSize, pl.Segmented.K
+		for _, on := range pl.Segmented.LocalSegmented {
+			if on {
+				pl.LocalSegmented = true
+				break
+			}
+		}
 	}
 	pl.Stats.Duration = time.Since(start)
 	return pl, nil
@@ -342,7 +367,7 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristic, req Request, p *sched.Problem, sp *sched.SegmentedProblem) (sc *Schedule, ss *SegmentedSchedule, built int, err error) {
 	switch {
 	case req.pipelined:
-		opt := sched.Options{Overlap: req.overlap}
+		opt := sched.Options{Overlap: req.overlap, SegmentedLocal: req.segLocal}
 		ladder := sched.DefaultSegmentLadder(req.size)
 		ss, err = sched.Pipelined{Base: h, Ladder: ladder}.BestContext(ctx, ep, s.g, req.root, req.size, opt)
 		if err != nil {
