@@ -610,3 +610,51 @@ func reportLastPoint(b *testing.B, fig *experiment.Figure, series, metric string
 	}
 	b.ReportMetric(s.Points[len(s.Points)-1].Y, metric)
 }
+
+// BenchmarkReplan measures absorbing a single-cluster drift through the
+// facade: Session.Replan's patch+replay fast path against the full
+// NewSession+Plan rebuild a caller without the trace must perform (N=512,
+// ECEF-LAT, drift on a late-scheduled cluster). Both sides pay the same
+// platform clone + problem construction, so the end-to-end gap (~2x) is
+// far narrower than the scheduling step it protects (~50x, isolated by
+// internal/sched's BenchmarkReplan/*Schedule pair — where the >= 5x
+// acceptance bar lives).
+func BenchmarkReplan(b *testing.B) {
+	g := topology.RandomGrid(stats.NewRand(1), 512)
+	sess, err := gridbcast.NewSession(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := gridbcast.NewRequest(gridbcast.WithHeuristic(gridbcast.ECEFLAT),
+		gridbcast.WithSize(1<<20), gridbcast.WithReplan())
+	plan, err := sess.Plan(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gridbcast.PlatformDelta{
+		Cluster:     plan.Schedule.Events[len(plan.Schedule.Events)-1].To,
+		OutGapScale: 1.5, InGapScale: 1.5,
+	}
+	b.Run("replan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sess.Replan(plan, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ng, err := g.ApplyDelta(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ns, err := gridbcast.NewSession(ng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ns.Plan(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

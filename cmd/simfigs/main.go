@@ -11,6 +11,7 @@
 //	simfigs -fig all -iters 2000
 //	simfigs -fig 7
 //	simfigs -table 3 [-rho 0.3] [-jitter 0.01]
+//	simfigs -chaos [-trials 16] [-seed 42]
 //
 // Each figure is written as a gnuplot-style .dat file plus a CSV in -out
 // (default "results/"), and a textual summary (and with -plot an ASCII
@@ -42,6 +43,8 @@ func main() {
 		jitter   = flag.Float64("jitter", 0, "network jitter for figure 6 and table 3 (e.g. 0.03)")
 		rho      = flag.Float64("rho", 0.3, "clustering tolerance for table 3")
 		gridPath = flag.String("grid", "", "platform JSON for the fixed-platform figures 5-7 (default: built-in GRID5000)")
+		chaos    = flag.Bool("chaos", false, "run the chaos harness: fault-injection sweep (completion rate and degraded makespan vs crash time) plus the drift-replanning equivalence sweep")
+		trials   = flag.Int("trials", 8, "chaos trials per crash fraction")
 	)
 	flag.Parse()
 
@@ -54,9 +57,37 @@ func main() {
 		}
 	}
 
-	if *fig == "" && *table == 0 {
+	if *fig == "" && *table == 0 && !*chaos {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *chaos {
+		cfg := experiment.ChaosConfig{Seed: *seed, Trials: *trials}
+		f, err := experiment.Chaos(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := writeFigure(f, *outDir); err != nil {
+			fatal(err)
+		}
+		fmt.Print(f.Summary())
+		if *plot {
+			fmt.Print(f.AsciiPlot(18, 64))
+		}
+		rep, err := experiment.ChaosReplanSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replan sweep: %d scenarios, %d diverged from rebuild, max |measured-predicted| %.3g s, mean drifted/original makespan %.4f\n",
+			rep.Scenarios, rep.Diverged, rep.MaxExecError, rep.MeanMakespanRatio)
+		if *fig == "" && *table == 0 {
+			return
+		}
+		fmt.Println()
 	}
 
 	if *table == 3 {

@@ -73,6 +73,14 @@ type (
 	Problem = sched.Problem
 	// SegmentedSchedule is a timed pipelined (multi-segment) schedule.
 	SegmentedSchedule = sched.SegmentedSchedule
+	// PlatformDelta describes a measured single-cluster platform drift
+	// (scaled wide-area links and/or a changed local broadcast time) for
+	// Session.Replan.
+	PlatformDelta = topology.Delta
+	// FaultPlan is a deterministic, seed-driven failure scenario (link
+	// degradation, message loss, node crashes) injected through
+	// NetConfig.Faults.
+	FaultPlan = vnet.FaultPlan
 )
 
 // Grid5000 returns the paper's 88-machine, 6-cluster GRID5000 platform

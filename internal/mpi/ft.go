@@ -1,0 +1,296 @@
+package mpi
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"gridbcast/internal/intracluster"
+	"gridbcast/internal/sched"
+	"gridbcast/internal/sim"
+	"gridbcast/internal/topology"
+	"gridbcast/internal/vnet"
+)
+
+// This file is the failure-aware execution path of ExecuteSchedule. It
+// activates when the network injects faults (Options.Net.Faults) or when
+// FTOptions are given explicitly; the fault-free path is untouched and keeps
+// reproducing analytic predictions bit-for-bit.
+//
+// The recovery protocol is receiver-driven, in the spirit of MagPIe's
+// coordinator role: every receive carries a deadline derived from the
+// analytic schedule (expected arrival plus a slack proportional to the
+// predicted makespan). A receiver whose deadline passes declares itself
+// orphaned and re-parents: it picks the cheapest live message holder (by
+// pLogP link cost g(m)+L) and has it retransmit, extending the deadline with
+// a doubling backoff. After MaxRetries fruitless repairs the receiver gives
+// up and returns, so an execution always terminates — crashed or unreachable
+// processes are reported in Result.Completed rather than hanging the run.
+//
+// Modelling note: a repair retransmission is issued by a transient process
+// bound to the holder's endpoint, so it does not contend with the holder's
+// own scheduled sender occupation. This slightly optimistic serialisation is
+// deliberate — repairs model an out-of-band recovery channel (DESIGN.md §11).
+
+// FTOptions tunes the failure-aware executor. The zero value of each field
+// selects its default.
+type FTOptions struct {
+	// Slack is the fraction of the predicted makespan granted past each
+	// analytic arrival before a receive is declared overdue (default 0.25).
+	Slack float64
+	// MinSlack is an absolute floor on the slack in seconds (default 5ms),
+	// so near-zero makespans still leave room for redelivery backoff.
+	MinSlack float64
+	// MaxRetries bounds the repair rounds per orphaned receive (default 3).
+	MaxRetries int
+}
+
+// Failure-aware execution defaults.
+const (
+	DefaultSlack    = 0.25
+	DefaultMinSlack = 0.005
+	// DefaultFTRetries is the default repair-round bound per receive.
+	DefaultFTRetries = 3
+)
+
+func (o *FTOptions) slack(makespan float64) float64 {
+	frac, floor := DefaultSlack, DefaultMinSlack
+	if o != nil && o.Slack > 0 {
+		frac = o.Slack
+	}
+	if o != nil && o.MinSlack > 0 {
+		floor = o.MinSlack
+	}
+	if s := frac * makespan; s > floor {
+		return s
+	}
+	return floor
+}
+
+func (o *FTOptions) maxRetries() int {
+	if o != nil && o.MaxRetries > 0 {
+		return o.MaxRetries
+	}
+	return DefaultFTRetries
+}
+
+// runEnv pumps the simulation, honouring an optional cancellation context.
+func runEnv(env *sim.Env, ctx context.Context) error {
+	if ctx == nil {
+		env.Run()
+		return nil
+	}
+	_, err := env.RunCtx(ctx, 0)
+	return err
+}
+
+// ftExec carries the shared state of one failure-aware execution. The sim
+// kernel is single-threaded, so plain fields suffice.
+type ftExec struct {
+	env        *sim.Env
+	nw         *vnet.Network
+	g          *topology.Grid
+	sc         *sched.Schedule
+	offsets    []int
+	m          int64
+	opt        Options
+	res        *Result
+	slack      float64
+	maxRetries int
+	// holder[c] reports cluster c's coordinator holds the message; localGot
+	// [c][r] reports rank r of cluster c holds it. Together they are the
+	// membership/monitoring view orphans consult to pick a new parent.
+	holder   []bool
+	localGot [][]bool
+}
+
+func newFTExec(env *sim.Env, nw *vnet.Network, g *topology.Grid, sc *sched.Schedule,
+	offsets []int, m int64, opt Options, res *Result) *ftExec {
+
+	ex := &ftExec{
+		env: env, nw: nw, g: g, sc: sc, offsets: offsets, m: m, opt: opt, res: res,
+		slack:      opt.FT.slack(sc.Makespan),
+		maxRetries: opt.FT.maxRetries(),
+		holder:     make([]bool, g.N()),
+		localGot:   make([][]bool, g.N()),
+	}
+	for c := range ex.localGot {
+		ex.localGot[c] = make([]bool, g.Clusters[c].Nodes)
+	}
+	return ex
+}
+
+// startCluster spawns the coordinator and local node processes of cluster c,
+// every receive guarded by a deadline.
+func (ex *ftExec) startCluster(c int, destinations []int) {
+	g, nw, res := ex.g, ex.nw, ex.res
+	cl := g.Clusters[c]
+	coord := ex.offsets[c]
+	isRoot := c == ex.sc.Root
+	var tree *intracluster.Tree
+	if cl.BcastTime == 0 && cl.Nodes > 1 {
+		tree = intracluster.New(ex.opt.IntraShape, cl.Nodes)
+	}
+
+	cp := ex.env.Process(fmt.Sprintf("coord-%s", cl.Name), func(p *sim.Proc) {
+		if !isRoot {
+			msg, ok := ex.recvInter(p, c)
+			if !ok {
+				return // orphaned for good: Completed[c] stays false
+			}
+			res.CoordinatorArrival[c] = msg.ArrivedAt
+			if msg.ArrivedAt > res.ClusterCompletion[c] {
+				res.ClusterCompletion[c] = msg.ArrivedAt
+			}
+		}
+		ex.holder[c] = true
+		ex.localGot[c][0] = true
+		for _, dst := range destinations {
+			nw.Send(p, coord, ex.offsets[dst], ex.m, TagInter, nil)
+		}
+		switch {
+		case cl.BcastTime > 0:
+			p.Wait(cl.BcastTime)
+			res.ClusterCompletion[c] = p.Now()
+			for r := range ex.localGot[c] {
+				ex.localGot[c][r] = true
+			}
+		case cl.Nodes == 1:
+			res.ClusterCompletion[c] = p.Now()
+		default:
+			for _, child := range tree.Children[0] {
+				nw.Send(p, coord, coord+child, ex.m, TagIntra, nil)
+			}
+		}
+	})
+	nw.Bind(coord, cp)
+
+	if tree == nil {
+		return
+	}
+	for r := 1; r < cl.Nodes; r++ {
+		lp := ex.env.Process(fmt.Sprintf("%s-%d", cl.Name, r), func(p *sim.Proc) {
+			msg, ok := ex.recvIntra(p, c, r)
+			if !ok {
+				return
+			}
+			ex.localGot[c][r] = true
+			for _, child := range tree.Children[r] {
+				nw.Send(p, coord+r, coord+child, ex.m, TagIntra, nil)
+			}
+			if msg.ArrivedAt > res.ClusterCompletion[c] {
+				res.ClusterCompletion[c] = msg.ArrivedAt
+			}
+		})
+		nw.Bind(coord+r, lp)
+	}
+}
+
+// recvInter waits for the wide-area message at cluster c's coordinator,
+// re-parenting onto the cheapest live holder whenever the deadline passes.
+func (ex *ftExec) recvInter(p *sim.Proc, c int) (*vnet.Message, bool) {
+	coord := ex.offsets[c]
+	deadline := ex.sc.RT[c] + ex.slack
+	for attempt := 0; ; attempt++ {
+		msg, ok := ex.nw.RecvMatchUntil(p, coord, deadline,
+			func(m *vnet.Message) bool { return m.Tag == TagInter })
+		if ok {
+			return msg, true
+		}
+		if attempt >= ex.maxRetries {
+			return nil, false
+		}
+		ext := ex.slack
+		if s := ex.bestHolder(c); s >= 0 {
+			link := ex.g.Inter[s][c]
+			ext = link.SendOverhead(ex.m) + link.Gap(ex.m) + link.L + ex.slack
+			ex.repair(ex.offsets[s], coord, TagInter)
+		}
+		deadline = p.Now() + ext*pow2(attempt)
+	}
+}
+
+// recvIntra is recvInter for a local node: the fallback parent is the lowest
+// live local rank that already holds the message (intra links are uniform,
+// so lowest rank is also cheapest).
+func (ex *ftExec) recvIntra(p *sim.Proc, c, r int) (*vnet.Message, bool) {
+	coord := ex.offsets[c]
+	deadline := ex.sc.Completion[c] + ex.slack
+	for attempt := 0; ; attempt++ {
+		msg, ok := ex.nw.RecvMatchUntil(p, coord+r, deadline,
+			func(m *vnet.Message) bool { return m.Tag == TagIntra })
+		if ok {
+			return msg, true
+		}
+		if attempt >= ex.maxRetries {
+			return nil, false
+		}
+		ext := ex.slack
+		if s := ex.bestLocalHolder(c, r); s >= 0 {
+			intra := ex.g.Clusters[c].Intra
+			ext = intra.SendOverhead(ex.m) + intra.Gap(ex.m) + intra.L + ex.slack
+			ex.repair(coord+s, coord+r, TagIntra)
+		}
+		deadline = p.Now() + ext*pow2(attempt)
+	}
+}
+
+// bestHolder picks the live coordinator holding the message with the
+// cheapest link into c (ties to the lowest cluster id), or -1.
+func (ex *ftExec) bestHolder(c int) int {
+	best, bestCost := -1, math.Inf(1)
+	for s := range ex.holder {
+		if s == c || !ex.holder[s] || ex.nw.Crashed(ex.offsets[s]) {
+			continue
+		}
+		l := ex.g.Inter[s][c]
+		if cost := l.Gap(ex.m) + l.L; cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best
+}
+
+// bestLocalHolder picks the lowest live rank of cluster c (other than r)
+// that holds the message, or -1.
+func (ex *ftExec) bestLocalHolder(c, r int) int {
+	for s, got := range ex.localGot[c] {
+		if s != r && got && !ex.nw.Crashed(ex.offsets[c]+s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// repair retransmits the message from endpoint `from` to endpoint `to` via a
+// transient process (the out-of-band recovery channel; see the file comment).
+func (ex *ftExec) repair(from, to, tag int) {
+	ex.res.Reparents++
+	ex.env.Process(fmt.Sprintf("repair-%d-%d", from, to), func(rp *sim.Proc) {
+		ex.nw.Send(rp, from, to, ex.m, tag, nil)
+	})
+}
+
+// finish fills the per-cluster completion report after the run.
+func (ex *ftExec) finish() {
+	for c, got := range ex.localGot {
+		all := true
+		for _, b := range got {
+			if b {
+				ex.res.NodesReached++
+			} else {
+				all = false
+			}
+		}
+		ex.res.Completed[c] = all
+	}
+}
+
+// pow2 returns 2^k as a float, saturating the shift at 6 so extensions stay
+// bounded.
+func pow2(k int) float64 {
+	if k > 6 {
+		k = 6
+	}
+	return float64(int(1) << uint(k))
+}

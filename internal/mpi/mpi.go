@@ -13,6 +13,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 
 	"gridbcast/internal/intracluster"
@@ -43,6 +44,14 @@ type Options struct {
 	// schedules produced under the overlap model carry overlap completions
 	// and fail validation against a strict-model problem without it.
 	Overlap bool
+	// Ctx, when non-nil, cancels the simulation cooperatively between event
+	// batches (the run returns ctx.Err()).
+	Ctx context.Context
+	// FT tunes the failure-aware execution path (receive deadlines and
+	// orphan re-parenting); nil selects the defaults. The path activates
+	// when Net.Faults is non-empty or FT is set explicitly — the fault-free
+	// path is bit-for-bit unchanged otherwise.
+	FT *FTOptions
 }
 
 // Result is the outcome of one executed broadcast.
@@ -58,6 +67,17 @@ type Result struct {
 	CoordinatorArrival []float64
 	// Messages and Bytes count the traffic that crossed the network.
 	Messages, Bytes int64
+	// Completed[c] reports whether every node of cluster c held the message
+	// when the run ended (all true on a fault-free execution). Under faults
+	// the Makespan is the degraded one: the latest completion that actually
+	// happened among reached processes.
+	Completed []bool
+	// NodesReached counts the processes holding the message at the end.
+	NodesReached int
+	// Retries counts link-layer redelivery attempts, Reparents counts
+	// orphaned receivers re-parented onto a live holder, and Lost counts
+	// permanently lost messages (retries exhausted or receiver crashed).
+	Retries, Reparents, Lost int64
 }
 
 // ExecuteSchedule runs the inter-cluster schedule sc (plus per-cluster
@@ -66,6 +86,9 @@ type Result struct {
 func ExecuteSchedule(g *topology.Grid, sc *sched.Schedule, m int64, opt Options) (*Result, error) {
 	prob, err := sched.NewProblem(g, sc.Root, m, sched.Options{IntraShape: opt.IntraShape, Overlap: opt.Overlap})
 	if err != nil {
+		return nil, err
+	}
+	if err := opt.Net.Validate(g.TotalNodes()); err != nil {
 		return nil, err
 	}
 	if err := sc.Validate(prob); err != nil {
@@ -101,15 +124,34 @@ func ExecuteSchedule(g *topology.Grid, sc *sched.Schedule, m int64, opt Options)
 	res := &Result{
 		ClusterCompletion:  make([]float64, n),
 		CoordinatorArrival: make([]float64, n),
+		Completed:          make([]bool, n),
 	}
 
-	for c := 0; c < n; c++ {
-		startClusterProcesses(env, nw, g, c, c == sc.Root, offsets[c], sends[c], offsets, m, opt, res)
+	var ex *ftExec
+	if opt.FT != nil || !opt.Net.Faults.Empty() {
+		ex = newFTExec(env, nw, g, sc, offsets, m, opt, res)
+		for c := 0; c < n; c++ {
+			ex.startCluster(c, sends[c])
+		}
+	} else {
+		for c := 0; c < n; c++ {
+			startClusterProcesses(env, nw, g, c, c == sc.Root, offsets[c], sends[c], offsets, m, opt, res)
+		}
 	}
-	env.Run()
+	if err := runEnv(env, opt.Ctx); err != nil {
+		return nil, err
+	}
 	if env.Live() != 0 {
 		env.Shutdown()
 		return nil, fmt.Errorf("mpi: %d processes never completed (lost message?)", env.Live())
+	}
+	if ex != nil {
+		ex.finish()
+	} else {
+		for c := range res.Completed {
+			res.Completed[c] = true
+		}
+		res.NodesReached = g.TotalNodes()
 	}
 	for _, comp := range res.ClusterCompletion {
 		if comp > res.Makespan {
@@ -117,6 +159,7 @@ func ExecuteSchedule(g *topology.Grid, sc *sched.Schedule, m int64, opt Options)
 		}
 	}
 	res.Messages, res.Bytes = nw.Messages, nw.Bytes
+	res.Retries, res.Lost = nw.Redelivered, nw.Lost
 	return res, nil
 }
 
@@ -184,6 +227,9 @@ func ExecuteBinomialGridUnaware(g *topology.Grid, rootCluster int, m int64, opt 
 	if rootCluster < 0 || rootCluster >= g.N() {
 		return nil, fmt.Errorf("mpi: root cluster %d out of range", rootCluster)
 	}
+	if err := opt.Net.Validate(g.TotalNodes()); err != nil {
+		return nil, err
+	}
 	layout := sched.Layout(g, rootCluster)
 	link := func(from, to int) plogp.Params {
 		cf, ct := layout[from].Cluster, layout[to].Cluster
@@ -199,6 +245,7 @@ func ExecuteBinomialGridUnaware(g *topology.Grid, rootCluster int, m int64, opt 
 	res := &Result{
 		ClusterCompletion:  make([]float64, g.N()),
 		CoordinatorArrival: make([]float64, g.N()),
+		Completed:          make([]bool, g.N()),
 	}
 	record := func(rank int, at float64) {
 		// Clusters modelled by an explicit BcastTime still pay their
@@ -227,11 +274,17 @@ func ExecuteBinomialGridUnaware(g *topology.Grid, rootCluster int, m int64, opt 
 			}
 		})
 	}
-	env.Run()
+	if err := runEnv(env, opt.Ctx); err != nil {
+		return nil, err
+	}
 	if env.Live() != 0 {
 		env.Shutdown()
 		return nil, fmt.Errorf("mpi: %d processes never completed", env.Live())
 	}
+	for c := range res.Completed {
+		res.Completed[c] = true
+	}
+	res.NodesReached = g.TotalNodes()
 	res.Messages, res.Bytes = nw.Messages, nw.Bytes
 	return res, nil
 }

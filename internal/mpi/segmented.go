@@ -36,6 +36,15 @@ func ExecuteSegmentedSchedule(g *topology.Grid, ss *sched.SegmentedSchedule, opt
 	if err := ss.Validate(sp); err != nil {
 		return nil, fmt.Errorf("mpi: refusing invalid segmented schedule: %w", err)
 	}
+	if err := opt.Net.Validate(g.TotalNodes()); err != nil {
+		return nil, err
+	}
+	// Segment streams have no per-segment recovery protocol: only link
+	// degradation is meaningful here. Loss and crash scenarios belong to the
+	// whole-message executor (ExecuteSchedule with Options.FT).
+	if f := opt.Net.Faults; f != nil && (len(f.Loss) > 0 || len(f.Crashes) > 0) {
+		return nil, fmt.Errorf("mpi: segmented execution supports Degrade faults only (loss/crash recovery is whole-message)")
+	}
 
 	n := g.N()
 	offsets := make([]int, n)
@@ -67,16 +76,23 @@ func ExecuteSegmentedSchedule(g *topology.Grid, ss *sched.SegmentedSchedule, opt
 	res := &Result{
 		ClusterCompletion:  make([]float64, n),
 		CoordinatorArrival: make([]float64, n),
+		Completed:          make([]bool, n),
 	}
 	for c := 0; c < n; c++ {
 		localSeg := ss.LocalSeg && ss.LocalSegmented[c]
 		startSegmentedCluster(env, nw, g, sp, c, c == ss.Root, localSeg, offsets[c], sends[c], offsets, opt, res)
 	}
-	env.Run()
+	if err := runEnv(env, opt.Ctx); err != nil {
+		return nil, err
+	}
 	if env.Live() != 0 {
 		env.Shutdown()
 		return nil, fmt.Errorf("mpi: %d processes never completed (lost segment?)", env.Live())
 	}
+	for c := range res.Completed {
+		res.Completed[c] = true
+	}
+	res.NodesReached = g.TotalNodes()
 	for _, comp := range res.ClusterCompletion {
 		if comp > res.Makespan {
 			res.Makespan = comp

@@ -83,7 +83,17 @@ func run(pol policy, p *Problem) *Schedule {
 		Idle:       make([]float64, p.N),
 		Completion: make([]float64, p.N),
 	}
-	for round := 0; s.sizeA < p.N; round++ {
+	runLoop(pol, p, s, sched)
+	return sched
+}
+
+// runLoop drives the remaining rounds of a partially built schedule (all of
+// them for run; the post-divergence tail for the replanner's warm-started
+// engine) and derives the final timing. The round arithmetic here is the
+// model's single source of truth — the replanner replays prefixes with the
+// exact same expressions.
+func runLoop(pol policy, p *Problem, s *state, sched *Schedule) {
+	for round := len(sched.Events); s.sizeA < p.N; round++ {
 		i, j := pol.pick(p, s)
 		if i < 0 || j < 0 || i >= p.N || j >= p.N || !s.inA[i] || s.inA[j] {
 			panic(fmt.Sprintf("sched: %s picked invalid pair (%d,%d) at round %d", pol.Name(), i, j, round))
@@ -102,7 +112,6 @@ func run(pol policy, p *Problem) *Schedule {
 		})
 	}
 	finish(p, s, sched)
-	return sched
 }
 
 // finish derives per-cluster idle/completion times and the makespan.

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRecvUntilDelivered(t *testing.T) {
+	e := New()
+	c := NewChan(e)
+	var got any
+	var ok bool
+	e.Process("r", func(p *Proc) {
+		got, ok = c.RecvUntil(p, 5.0)
+	})
+	e.Process("s", func(p *Proc) {
+		p.Wait(1.0)
+		c.Send("hello")
+	})
+	e.Run()
+	if !ok || got != "hello" {
+		t.Fatalf("RecvUntil = (%v, %v), want (hello, true)", got, ok)
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d", e.Live())
+	}
+}
+
+func TestRecvUntilTimesOut(t *testing.T) {
+	e := New()
+	c := NewChan(e)
+	var ok bool
+	var at float64
+	e.Process("r", func(p *Proc) {
+		_, ok = c.RecvUntil(p, 2.5)
+		at = p.Now()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("RecvUntil reported a message on an empty channel")
+	}
+	if at != 2.5 {
+		t.Errorf("timeout fired at %g, want 2.5", at)
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d", e.Live())
+	}
+}
+
+func TestRecvUntilLateMessageStaysBuffered(t *testing.T) {
+	// A message delivered after the deadline must not vanish: the next
+	// receive picks it up.
+	e := New()
+	c := NewChan(e)
+	var first, second bool
+	e.Process("r", func(p *Proc) {
+		_, first = c.RecvUntil(p, 1.0)
+		_, second = c.RecvUntil(p, 10.0)
+	})
+	e.Process("s", func(p *Proc) {
+		p.Wait(3.0)
+		c.Send(42)
+	})
+	e.Run()
+	if first {
+		t.Error("first receive should have timed out")
+	}
+	if !second {
+		t.Error("second receive should have caught the late message")
+	}
+}
+
+func TestRecvUntilStaleTimerIsHarmless(t *testing.T) {
+	// The message arrives before the deadline; the stale timeout event fires
+	// later while the process is blocked in an ordinary Recv and must not
+	// disturb it.
+	e := New()
+	c := NewChan(e)
+	var timedOut bool
+	var last any
+	e.Process("r", func(p *Proc) {
+		_, ok := c.RecvUntil(p, 5.0)
+		timedOut = !ok
+		last = c.Recv(p)
+	})
+	e.Process("s", func(p *Proc) {
+		p.Wait(1.0)
+		c.Send("a")
+		p.Wait(8.0) // past the stale deadline at t=5
+		c.Send("b")
+	})
+	e.Run()
+	if timedOut {
+		t.Error("receive timed out despite early delivery")
+	}
+	if last != "b" {
+		t.Errorf("second message = %v, want b", last)
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d", e.Live())
+	}
+}
+
+func TestKillUnblocksAndDropsProcess(t *testing.T) {
+	e := New()
+	c := NewChan(e)
+	reached := false
+	victim := e.Process("victim", func(p *Proc) {
+		c.Recv(p)
+		reached = true // must never run
+	})
+	e.Process("other", func(p *Proc) {
+		p.Wait(2.0)
+	})
+	e.Schedule(1.0, func() { e.Kill(victim) })
+	e.Run()
+	if reached {
+		t.Error("killed process kept running")
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d, want 0", e.Live())
+	}
+	// Killing again is a no-op.
+	e.Kill(victim)
+}
+
+func TestKillDeadWaiterDoesNotStrandMessages(t *testing.T) {
+	// Two processes wait on one channel; the first is killed. A delivery
+	// must wake the surviving waiter, not be consumed by the corpse.
+	e := New()
+	c := NewChan(e)
+	var got any
+	first := e.Process("first", func(p *Proc) {
+		c.Recv(p)
+		t.Error("dead waiter received a message")
+	})
+	e.Process("second", func(p *Proc) {
+		p.Wait(0.5) // register after "first"
+		got = c.Recv(p)
+	})
+	e.Schedule(1.0, func() { e.Kill(first) })
+	e.Schedule(2.0, func() { c.Send("survivor") })
+	e.Run()
+	if got != "survivor" {
+		t.Errorf("surviving waiter got %v, want survivor", got)
+	}
+}
+
+func TestKillMidWait(t *testing.T) {
+	e := New()
+	victim := e.Process("victim", func(p *Proc) {
+		p.Wait(10.0)
+		t.Error("killed process resumed from Wait")
+	})
+	e.Schedule(1.0, func() { e.Kill(victim) })
+	end := e.Run()
+	// The stale resume event at t=10 still pops (a no-op on the dead
+	// process), so the queue drains at 10.
+	if end != 10.0 {
+		t.Errorf("end = %g, want 10", end)
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d", e.Live())
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	steps := 0
+	e.Process("spinner", func(p *Proc) {
+		for {
+			p.Wait(1.0)
+			steps++
+			if steps == 3 {
+				cancel()
+			}
+		}
+	})
+	_, err := e.RunCtx(ctx, 1)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if steps < 3 {
+		t.Errorf("cancelled too early: %d steps", steps)
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d after shutdown", e.Live())
+	}
+}
+
+func TestRunCtxCompletes(t *testing.T) {
+	e := New()
+	done := false
+	e.Process("p", func(p *Proc) {
+		p.Wait(2.0)
+		done = true
+	})
+	end, err := e.RunCtx(context.Background(), 0)
+	if err != nil || !done || end != 2.0 {
+		t.Fatalf("RunCtx = (%g, %v), done=%v", end, err, done)
+	}
+}
+
+func TestRunCtxNilContext(t *testing.T) {
+	e := New()
+	e.Process("p", func(p *Proc) { p.Wait(1.0) })
+	end, err := e.RunCtx(nil, 0)
+	if err != nil || end != 1.0 {
+		t.Fatalf("RunCtx(nil) = (%g, %v)", end, err)
+	}
+}

@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -155,6 +156,10 @@ type Proc struct {
 	name   string
 	resume chan bool
 	done   bool
+	// waitSeq counts channel-wait registrations; RecvUntil timeout events
+	// carry the sequence they were armed for, so a timer outlives its wait
+	// harmlessly (see RecvUntil).
+	waitSeq int64
 }
 
 // Name returns the process name (for traces and error messages).
@@ -248,6 +253,47 @@ func (e *Env) RunUntil(limit float64) float64 {
 	return e.now
 }
 
+// RunCtx is Run with cooperative cancellation: ctx is polled every `every`
+// events (every <= 0 means a 1024-event batch). On cancellation the
+// environment is shut down and ctx's error is returned with the virtual
+// time reached; a nil error means the queue drained normally.
+func (e *Env) RunCtx(ctx context.Context, every int) (float64, error) {
+	if ctx == nil {
+		return e.Run(), nil
+	}
+	if every <= 0 {
+		every = 1024
+	}
+	for len(e.queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			e.Shutdown()
+			return e.now, err
+		}
+		for i := 0; i < every && len(e.queue) > 0; i++ {
+			ev := e.queue.pop()
+			e.now = ev.time
+			switch ev.kind {
+			case evResume:
+				e.transfer(ev.proc, true)
+			case evDeliver:
+				ev.ch.deliver(ev.msg)
+			default:
+				ev.fn()
+			}
+		}
+	}
+	return e.now, nil
+}
+
+// Kill terminates p immediately: its blocking primitive panics internally
+// and the goroutine unwinds (a no-op if p already finished). Kill must be
+// called from kernel context — a Schedule callback, or between Run calls —
+// never from another process's simulation code. Events still queued for p
+// become no-ops; channels p was waiting on simply drop it.
+func (e *Env) Kill(p *Proc) {
+	e.transfer(p, false)
+}
+
 // Shutdown terminates every unfinished process (their blocking primitive
 // panics internally and the goroutine exits). The event queue is cleared.
 // The environment can be inspected afterwards but not reused.
@@ -286,10 +332,16 @@ func (c *Chan) SendAfter(d float64, v any) {
 
 func (c *Chan) deliver(v any) {
 	c.buf = append(c.buf, v)
-	if len(c.waiters) > 0 {
+	for len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
+		if w.done {
+			// The waiter was killed while blocked; wake the next one so a
+			// buffered message is never stranded behind a dead process.
+			continue
+		}
 		c.env.scheduleResume(0, w)
+		break
 	}
 }
 
@@ -297,9 +349,45 @@ func (c *Chan) deliver(v any) {
 func (c *Chan) Recv(p *Proc) any {
 	for len(c.buf) == 0 {
 		c.waiters = append(c.waiters, p)
+		p.waitSeq++
 		p.block()
 	}
 	v := c.buf[0]
 	c.buf = c.buf[1:]
 	return v
+}
+
+// RecvUntil is Recv with a virtual-time deadline: it returns (msg, true)
+// when a message is available strictly before the deadline passes with an
+// empty buffer, and (nil, false) at the deadline otherwise. The failure-
+// aware MPI executor derives its per-receive deadlines from the analytic
+// schedule and calls this instead of Recv.
+func (c *Chan) RecvUntil(p *Proc, deadline float64) (any, bool) {
+	for len(c.buf) == 0 {
+		if deadline <= c.env.now {
+			return nil, false
+		}
+		c.waiters = append(c.waiters, p)
+		p.waitSeq++
+		seq := p.waitSeq
+		// The timeout event must only act if p is still parked in THIS wait:
+		// the sequence guard rejects later waits of the same process, the
+		// membership scan rejects waits already woken by a delivery.
+		c.env.Schedule(deadline-c.env.now, func() {
+			if p.waitSeq != seq || p.done {
+				return
+			}
+			for i, w := range c.waiters {
+				if w == p {
+					c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+					c.env.scheduleResume(0, p)
+					return
+				}
+			}
+		})
+		p.block()
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
 }

@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"testing"
+
+	"gridbcast/internal/stats"
+)
+
+func TestApplyDeltaScalesOnlyTargetRowAndColumn(t *testing.T) {
+	r := stats.NewRand(5)
+	g := RandomSizedGrid(r, 6)
+	const c = 2
+	ng, err := g.ApplyDelta(Delta{Cluster: c, OutGapScale: 2, OutLatScale: 3, InGapScale: 0.5, InLatScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = int64(1 << 20)
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if i == j {
+				continue
+			}
+			wantG, wantL := g.Gap(i, j, m), g.Latency(i, j)
+			switch {
+			case i == c:
+				wantG, wantL = wantG*2, wantL*3
+			case j == c:
+				wantG = wantG * 0.5
+			}
+			if got := ng.Gap(i, j, m); got != wantG {
+				t.Errorf("gap %d->%d: %g, want %g", i, j, got, wantG)
+			}
+			if got := ng.Latency(i, j); got != wantL {
+				t.Errorf("lat %d->%d: %g, want %g", i, j, got, wantL)
+			}
+		}
+	}
+	// The original grid is untouched.
+	if g.Gap(c, 0, m) == ng.Gap(c, 0, m) {
+		t.Error("ApplyDelta mutated the source grid (or scaled by 1)")
+	}
+}
+
+func TestApplyDeltaBcastTime(t *testing.T) {
+	r := stats.NewRand(6)
+	g := RandomGrid(r, 4)
+	ng, err := g.ApplyDelta(Delta{Cluster: 1, BcastTime: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Clusters[1].BcastTime != 2.5 {
+		t.Errorf("bcast time %g, want 2.5", ng.Clusters[1].BcastTime)
+	}
+	if g.Clusters[1].BcastTime == 2.5 {
+		t.Error("source grid mutated")
+	}
+}
+
+func TestDeltaValidate(t *testing.T) {
+	cases := []struct {
+		d  Delta
+		ok bool
+	}{
+		{Delta{Cluster: 0}, true},
+		{Delta{Cluster: -1}, false},
+		{Delta{Cluster: 4}, false},
+		{Delta{Cluster: 0, OutGapScale: -1}, false},
+		{Delta{Cluster: 0, BcastTime: -2}, false},
+		{Delta{Cluster: 3, InLatScale: 0.25}, true},
+	}
+	for i, tc := range cases {
+		if err := tc.d.Validate(4); (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, tc.ok)
+		}
+	}
+	if !(Delta{Cluster: 0}).Identity() || !(Delta{Cluster: 0, OutGapScale: 1}).Identity() {
+		t.Error("identity delta not recognised")
+	}
+	if (Delta{Cluster: 0, InGapScale: 2}).Identity() {
+		t.Error("scaling delta reported as identity")
+	}
+}
+
+// TestPatchCostsBitwiseIdentical is the contract PatchCosts exists for: the
+// patched cache must be indistinguishable from costing the drifted grid from
+// scratch, float for float.
+func TestPatchCostsBitwiseIdentical(t *testing.T) {
+	r := stats.NewRand(7)
+	for trial := 0; trial < 5; trial++ {
+		g := RandomSizedGrid(r, 5+r.Intn(8))
+		sizes := []int64{1 << 10, 1 << 20, 3 << 20}
+		for _, m := range sizes {
+			g.EdgeCosts(m)
+		}
+		c := r.Intn(g.N())
+		d := Delta{Cluster: c, OutGapScale: 1.7, OutLatScale: 0.6, InGapScale: 1.1, InLatScale: 2.0}
+
+		patched, err := g.ApplyDelta(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		PatchCosts(g, patched, c)
+
+		fresh, err := g.ApplyDelta(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range sizes {
+			pc, fc := patched.EdgeCosts(m), fresh.EdgeCosts(m)
+			for i := 0; i < g.N(); i++ {
+				for j := 0; j < g.N(); j++ {
+					if pc.G[i][j] != fc.G[i][j] || pc.L[i][j] != fc.L[i][j] ||
+						pc.W[i][j] != fc.W[i][j] || pc.WT[i][j] != fc.WT[i][j] {
+						t.Fatalf("m=%d entry (%d,%d): patched (%g,%g,%g,%g) != fresh (%g,%g,%g,%g)",
+							m, i, j, pc.G[i][j], pc.L[i][j], pc.W[i][j], pc.WT[i][j],
+							fc.G[i][j], fc.L[i][j], fc.W[i][j], fc.WT[i][j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package vnet
+
+import (
+	"fmt"
+	"math"
+
+	"gridbcast/internal/sim"
+)
+
+// This file is the deterministic fault-injection layer of the virtual
+// network. Faults are described up front in a FaultPlan and evaluated with
+// ordinary (virtual-)time arithmetic — no hidden randomness — so any
+// failure scenario replays identically from the same plan. The chaos
+// harness (internal/experiment) generates plans from a seed, which is where
+// reproducible randomness lives.
+
+// Degrade scales one directed link's cost from a virtual time onward: sends
+// issued at or after After pay GapScale times the gap and LatScale times
+// the latency (a zero scale means "unchanged"). This models the measured
+// drift of the paper's §7 platforms — a link that got slower after the
+// schedule was computed.
+type Degrade struct {
+	From, To int
+	After    float64
+	GapScale float64
+	LatScale float64
+}
+
+// Loss drops delivery attempts on one directed link: starting with sends
+// issued at or after After, the next Drops attempts on the link are lost.
+// Each lost attempt is redelivered after a capped exponential backoff, up
+// to MaxRetries redeliveries per message; a message that exhausts its
+// retries is permanently lost (counted in Network.Lost) and never reaches
+// the receiver — the failure-aware executor's receive deadlines are what
+// catch it.
+type Loss struct {
+	From, To int
+	After    float64
+	Drops    int
+	// MaxRetries bounds the redeliveries per message (0 means the
+	// DefaultMaxRetries).
+	MaxRetries int
+}
+
+// Crash terminates the process bound to endpoint Node at virtual time At.
+// From then on the node neither sends (its process is dead) nor receives
+// (messages addressed to it are discarded and counted in Network.Lost).
+type Crash struct {
+	Node int
+	At   float64
+}
+
+// Fault-plan defaults.
+const (
+	// DefaultMaxRetries is the per-message redelivery bound of lossy links.
+	DefaultMaxRetries = 3
+	// DefaultRetryBackoff is the initial redelivery delay (seconds).
+	DefaultRetryBackoff = 0.010
+	// DefaultRetryCap caps the exponential backoff (seconds).
+	DefaultRetryCap = 0.160
+)
+
+// FaultPlan is a deterministic failure scenario: every entry triggers on
+// virtual-time and per-link counters only, so a plan fully determines the
+// fault behaviour of a run.
+type FaultPlan struct {
+	Degrade []Degrade
+	Loss    []Loss
+	Crashes []Crash
+	// RetryBackoff is the first redelivery delay of lossy links; each
+	// further redelivery doubles it up to RetryCap. Zero values take the
+	// defaults above.
+	RetryBackoff float64
+	RetryCap     float64
+}
+
+// Empty reports whether the plan injects nothing.
+func (fp *FaultPlan) Empty() bool {
+	return fp == nil || len(fp.Degrade) == 0 && len(fp.Loss) == 0 && len(fp.Crashes) == 0
+}
+
+// validate checks the plan against a network of n endpoints.
+func (fp *FaultPlan) validate(n int) error {
+	if fp == nil {
+		return nil
+	}
+	for i, d := range fp.Degrade {
+		if err := checkLink(n, d.From, d.To); err != nil {
+			return fmt.Errorf("vnet: degrade[%d]: %w", i, err)
+		}
+		if d.After < 0 || d.GapScale < 0 || d.LatScale < 0 {
+			return fmt.Errorf("vnet: degrade[%d]: negative field", i)
+		}
+	}
+	for i, l := range fp.Loss {
+		if err := checkLink(n, l.From, l.To); err != nil {
+			return fmt.Errorf("vnet: loss[%d]: %w", i, err)
+		}
+		if l.After < 0 || l.Drops < 0 || l.MaxRetries < 0 {
+			return fmt.Errorf("vnet: loss[%d]: negative field", i)
+		}
+	}
+	for i, c := range fp.Crashes {
+		if c.Node < 0 || (n > 0 && c.Node >= n) {
+			return fmt.Errorf("vnet: crash[%d]: node %d out of range", i, c.Node)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("vnet: crash[%d]: negative time", i)
+		}
+	}
+	if fp.RetryBackoff < 0 || fp.RetryCap < 0 {
+		return fmt.Errorf("vnet: negative retry backoff")
+	}
+	return nil
+}
+
+func checkLink(n, from, to int) error {
+	if from < 0 || to < 0 || (n > 0 && (from >= n || to >= n)) {
+		return fmt.Errorf("link %d->%d out of range", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("link %d->%d is a self-loop", from, to)
+	}
+	return nil
+}
+
+// backoff returns the redelivery delay of the attempt'th retry (0-based).
+func (fp *FaultPlan) backoff(attempt int) float64 {
+	b := fp.RetryBackoff
+	if b == 0 {
+		b = DefaultRetryBackoff
+	}
+	cap := fp.RetryCap
+	if cap == 0 {
+		cap = DefaultRetryCap
+	}
+	d := b * math.Pow(2, float64(attempt))
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// maxRetries returns the per-message redelivery bound of a loss rule.
+func (l *Loss) maxRetries() int {
+	if l.MaxRetries > 0 {
+		return l.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// faultState is the network's mutable view of its fault plan.
+type faultState struct {
+	plan *FaultPlan
+	// remaining drop budget per loss rule (indexed like plan.Loss).
+	drops []int
+	// crashed[i] reports endpoint i is dead.
+	crashed []bool
+}
+
+func newFaultState(plan *FaultPlan, n int) *faultState {
+	fs := &faultState{plan: plan, crashed: make([]bool, n)}
+	if plan != nil {
+		fs.drops = make([]int, len(plan.Loss))
+		for i, l := range plan.Loss {
+			fs.drops[i] = l.Drops
+		}
+	}
+	return fs
+}
+
+// scales returns the gap and latency multipliers active on from->to for a
+// send issued at time now.
+func (fs *faultState) scales(from, to int, now float64) (gap, lat float64) {
+	gap, lat = 1, 1
+	if fs.plan == nil {
+		return
+	}
+	for _, d := range fs.plan.Degrade {
+		if d.From == from && d.To == to && now >= d.After {
+			if d.GapScale > 0 {
+				gap *= d.GapScale
+			}
+			if d.LatScale > 0 {
+				lat *= d.LatScale
+			}
+		}
+	}
+	return
+}
+
+// consumeLoss decides the fate of one message sent on from->to at time now:
+// the number of lost delivery attempts it suffers, and whether it is
+// permanently lost (retries exhausted). Drop budgets are consumed in rule
+// order, deterministically.
+func (fs *faultState) consumeLoss(from, to int, now float64) (lost int, permanent bool) {
+	if fs.plan == nil {
+		return 0, false
+	}
+	for ri := range fs.plan.Loss {
+		l := &fs.plan.Loss[ri]
+		if l.From != from || l.To != to || now < l.After || fs.drops[ri] == 0 {
+			continue
+		}
+		// 1 original attempt + maxRetries redeliveries may be lost before
+		// the message is abandoned.
+		budget := l.maxRetries() + 1
+		take := fs.drops[ri]
+		if take > budget {
+			take = budget
+		}
+		fs.drops[ri] -= take
+		return take, take == budget
+	}
+	return 0, false
+}
+
+// Crashed reports whether endpoint node has crashed (by virtual time of
+// call; crash events flip the flag exactly at their scheduled time).
+func (nw *Network) Crashed(node int) bool { return nw.faults.crashed[node] }
+
+// Bind associates endpoint node with its simulated process so a Crash fault
+// can terminate it. The MPI executor binds every process it spawns;
+// unbound endpoints still stop receiving when crashed, but their process
+// (if any) survives.
+func (nw *Network) Bind(node int, p *sim.Proc) { nw.bound[node] = p }

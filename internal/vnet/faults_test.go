@@ -1,0 +1,187 @@
+package vnet
+
+import (
+	"math"
+	"testing"
+
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/sim"
+)
+
+func TestDegradeScalesLinkFromAfter(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.010, G: plogp.Constant(0.100)}
+	cfg := Config{Faults: &FaultPlan{
+		Degrade: []Degrade{{From: 0, To: 1, After: 0.5, GapScale: 2, LatScale: 3}},
+	}}
+	nw := New(env, 2, uniformLink(params), cfg)
+	var arrivals []float64
+	env.Process("sender", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 100, 0, nil) // before the fault: g+L = 0.110
+		p.Wait(1.0)                   // now past After
+		nw.Send(p, 0, 1, 100, 0, nil) // degraded: 2g + 3L = 0.230
+	})
+	env.Process("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			arrivals = append(arrivals, nw.Recv(p, 1).ArrivedAt)
+		}
+	})
+	env.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	if math.Abs(arrivals[0]-0.110) > 1e-12 {
+		t.Errorf("pre-fault arrival %g, want 0.110", arrivals[0])
+	}
+	// Second send starts at t = 0.100 + 1.0 = 1.100; occupies 0.200,
+	// arrives 0.200+0.030 later.
+	want := 1.100 + 0.230
+	if math.Abs(arrivals[1]-want) > 1e-12 {
+		t.Errorf("degraded arrival %g, want %g", arrivals[1], want)
+	}
+}
+
+func TestLossRedeliversWithBackoff(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.010, G: plogp.Constant(0.100)}
+	cfg := Config{Faults: &FaultPlan{
+		Loss:         []Loss{{From: 0, To: 1, Drops: 2, MaxRetries: 3}},
+		RetryBackoff: 0.040,
+		RetryCap:     1.0,
+	}}
+	nw := New(env, 2, uniformLink(params), cfg)
+	var arrived float64
+	env.Process("sender", func(p *sim.Proc) { nw.Send(p, 0, 1, 100, 0, nil) })
+	env.Process("recv", func(p *sim.Proc) { arrived = nw.Recv(p, 1).ArrivedAt })
+	env.Run()
+	// Two lost attempts cost backoff(0)+backoff(1) = 0.040+0.080 extra.
+	want := 0.110 + 0.040 + 0.080
+	if math.Abs(arrived-want) > 1e-12 {
+		t.Errorf("arrival %g, want %g", arrived, want)
+	}
+	if nw.Redelivered != 2 || nw.Lost != 0 {
+		t.Errorf("redelivered=%d lost=%d, want 2,0", nw.Redelivered, nw.Lost)
+	}
+}
+
+func TestLossPermanentAfterRetriesExhausted(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.010, G: plogp.Constant(0.100)}
+	cfg := Config{Faults: &FaultPlan{
+		// 10 drops against 2 retries: the message is abandoned after
+		// 1 + 2 = 3 lost attempts; the rest of the budget survives for
+		// later messages.
+		Loss: []Loss{{From: 0, To: 1, Drops: 10, MaxRetries: 2}},
+	}}
+	nw := New(env, 2, uniformLink(params), cfg)
+	var got bool
+	env.Process("sender", func(p *sim.Proc) { nw.Send(p, 0, 1, 100, 0, nil) })
+	env.Process("recv", func(p *sim.Proc) {
+		_, got = nw.RecvMatchUntil(p, 1, 5.0, func(*Message) bool { return true })
+	})
+	env.Run()
+	if got {
+		t.Fatal("permanently lost message was delivered")
+	}
+	if nw.Lost != 1 || nw.Redelivered != 2 {
+		t.Errorf("lost=%d redelivered=%d, want 1,2", nw.Lost, nw.Redelivered)
+	}
+	if nw.faults.drops[0] != 7 {
+		t.Errorf("remaining drop budget %d, want 7", nw.faults.drops[0])
+	}
+}
+
+func TestCrashKillsBoundProcessAndDropsInbound(t *testing.T) {
+	env := sim.New()
+	params := plogp.Params{L: 0.010, G: plogp.Constant(0.100)}
+	cfg := Config{Faults: &FaultPlan{Crashes: []Crash{{Node: 1, At: 0.05}}}}
+	nw := New(env, 2, uniformLink(params), cfg)
+	victimRan := false
+	victim := env.Process("victim", func(p *sim.Proc) {
+		nw.Recv(p, 1)
+		victimRan = true
+	})
+	nw.Bind(1, victim)
+	env.Process("sender", func(p *sim.Proc) {
+		// In flight when the crash hits the receiver at t=0.05: the
+		// delivery at t=0.110 is discarded.
+		nw.Send(p, 0, 1, 100, 0, nil)
+	})
+	env.Run()
+	if victimRan {
+		t.Error("crashed process received a message")
+	}
+	if !nw.Crashed(1) {
+		t.Error("Crashed(1) = false")
+	}
+	if nw.Lost != 1 {
+		t.Errorf("lost=%d, want 1", nw.Lost)
+	}
+	if env.Live() != 0 {
+		t.Errorf("live = %d", env.Live())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		n    int
+		ok   bool
+	}{
+		{"zero", Config{}, 4, true},
+		{"jitter with seed", Config{Jitter: 0.05, Seed: 7}, 4, true},
+		{"jitter without seed", Config{Jitter: 0.05}, 4, false},
+		{"negative jitter", Config{Jitter: -0.1, Seed: 1}, 4, false},
+		{"jitter one", Config{Jitter: 1.0, Seed: 1}, 4, false},
+		{"negative overhead", Config{SoftwareOverhead: -1}, 4, false},
+		{"fault self-loop", Config{Faults: &FaultPlan{Degrade: []Degrade{{From: 1, To: 1}}}}, 4, false},
+		{"fault out of range", Config{Faults: &FaultPlan{Loss: []Loss{{From: 0, To: 9}}}}, 4, false},
+		{"crash out of range", Config{Faults: &FaultPlan{Crashes: []Crash{{Node: -1}}}}, 4, false},
+		{"crash negative time", Config{Faults: &FaultPlan{Crashes: []Crash{{Node: 0, At: -1}}}}, 4, false},
+		{"valid plan", Config{Faults: &FaultPlan{
+			Degrade: []Degrade{{From: 0, To: 1, After: 1, GapScale: 2}},
+			Loss:    []Loss{{From: 1, To: 0, Drops: 3}},
+			Crashes: []Crash{{Node: 2, At: 0.5}},
+		}}, 4, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate(tc.n)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestFaultPlanEmpty(t *testing.T) {
+	var fp *FaultPlan
+	if !fp.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if !(&FaultPlan{}).Empty() {
+		t.Error("zero plan not empty")
+	}
+	if (&FaultPlan{Crashes: []Crash{{Node: 0, At: 1}}}).Empty() {
+		t.Error("crash plan reported empty")
+	}
+}
+
+func TestZeroFaultConfigUnchangedTiming(t *testing.T) {
+	// A non-nil but empty fault plan must not perturb timing at all.
+	run := func(cfg Config) float64 {
+		env := sim.New()
+		params := plogp.Params{L: 0.003, G: plogp.Constant(0.070)}
+		nw := New(env, 3, uniformLink(params), cfg)
+		env.Process("sender", func(p *sim.Proc) {
+			nw.Send(p, 0, 1, 1000, 0, nil)
+			nw.Send(p, 0, 2, 1000, 0, nil)
+		})
+		for _, node := range []int{1, 2} {
+			env.Process("recv", func(p *sim.Proc) { nw.Recv(p, node) })
+		}
+		return env.Run()
+	}
+	if a, b := run(Config{}), run(Config{Faults: &FaultPlan{}}); a != b {
+		t.Errorf("empty fault plan changed the run: %g vs %g", a, b)
+	}
+}

@@ -47,6 +47,27 @@ type Config struct {
 	// SoftwareOverhead is a fixed per-message cost (seconds) added to the
 	// sender occupation, modelling the MPI stack above the raw network.
 	SoftwareOverhead float64
+	// Faults, when non-nil, injects the deterministic failure scenario it
+	// describes (link degradation, message loss with bounded redelivery,
+	// node crashes). See FaultPlan.
+	Faults *FaultPlan
+}
+
+// Validate reports configuration errors without running anything: jitter
+// outside [0,1), jitter without an explicit seed (a silently fixed stream
+// would masquerade as fresh randomness), or a malformed fault plan. n is
+// the endpoint count the config will serve (0 skips the index checks).
+func (c Config) Validate(n int) error {
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("vnet: jitter %g outside [0,1)", c.Jitter)
+	}
+	if c.Jitter > 0 && c.Seed == 0 {
+		return fmt.Errorf("vnet: jitter %g needs an explicit non-zero Seed (reproducibility)", c.Jitter)
+	}
+	if c.SoftwareOverhead < 0 {
+		return fmt.Errorf("vnet: negative software overhead %g", c.SoftwareOverhead)
+	}
+	return c.Faults.validate(n)
 }
 
 // Network connects n processes (0..n-1) with pLogP links.
@@ -73,10 +94,16 @@ type Network struct {
 	lastDelivered []float64
 	cfg           Config
 	rng           *rand.Rand
+	faults        *faultState
+	bound         []*sim.Proc
 
-	// Counters (observable after a run).
-	Messages int64
-	Bytes    int64
+	// Counters (observable after a run). Lost counts permanently lost
+	// messages (retries exhausted, or addressed to a crashed node);
+	// Redelivered counts link-layer redelivery attempts of lossy links.
+	Messages    int64
+	Bytes       int64
+	Lost        int64
+	Redelivered int64
 }
 
 // New builds a network of n endpoints on env. link must return the pLogP
@@ -92,17 +119,33 @@ func New(env *sim.Env, n int, link func(from, to int) plogp.Params, cfg Config) 
 		pending:       make([][]*Message, n),
 		lastDelivered: make([]float64, n),
 		cfg:           cfg,
+		faults:        newFaultState(cfg.Faults, n),
+		bound:         make([]*sim.Proc, n),
 	}
 	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
 		if cfg.Jitter != 0 {
 			panic(fmt.Sprintf("vnet: jitter %g outside [0,1)", cfg.Jitter))
 		}
 	}
+	if err := cfg.Faults.validate(n); err != nil {
+		panic(err.Error())
+	}
 	if cfg.Jitter > 0 {
 		nw.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	for i := range nw.inbox {
 		nw.inbox[i] = sim.NewChan(env)
+	}
+	if cfg.Faults != nil {
+		for _, cr := range cfg.Faults.Crashes {
+			cr := cr
+			env.Schedule(cr.At, func() {
+				nw.faults.crashed[cr.Node] = true
+				if p := nw.bound[cr.Node]; p != nil {
+					env.Kill(p)
+				}
+			})
+		}
 	}
 	return nw
 }
@@ -137,14 +180,37 @@ func (nw *Network) SendSeg(p *sim.Proc, from, to int, size int64, seg, tag int, 
 	}
 	params := nw.link(from, to)
 	msg := &Message{From: from, To: to, Size: size, Tag: tag, Seg: seg, Payload: payload, SentAt: p.Now()}
-	occupied := nw.cfg.SoftwareOverhead + params.SendOverhead(size) + params.Gap(size)*nw.jitter()
-	lat := params.L * nw.jitter()
+	// Fault evaluation keys on the send time, so a scenario's behaviour is
+	// a pure function of the fault plan and the traffic pattern.
+	gapScale, latScale := nw.faults.scales(from, to, p.Now())
+	lost, permanent := nw.faults.consumeLoss(from, to, p.Now())
+	occupied := nw.cfg.SoftwareOverhead + params.SendOverhead(size) + params.Gap(size)*gapScale*nw.jitter()
+	lat := params.L * latScale * nw.jitter()
 	recvOv := params.RecvOverhead(size)
 	p.Wait(occupied)
+	nw.Messages++
+	nw.Bytes += size
+	if permanent {
+		// The original attempt and every redelivery are lost; the message
+		// never reaches the inbox. Receive deadlines (mpi) catch this.
+		nw.Lost++
+		nw.Redelivered += int64(lost - 1)
+		return
+	}
+	extra := 0.0
+	for a := 0; a < lost; a++ {
+		extra += nw.cfg.Faults.backoff(a)
+	}
+	nw.Redelivered += int64(lost)
 	env := nw.env
 	inbox := nw.inbox[to]
-	gap := params.Gap(size)
-	env.Schedule(lat+recvOv, func() {
+	gap := params.Gap(size) * gapScale
+	env.Schedule(extra+lat+recvOv, func() {
+		if nw.faults.crashed[to] {
+			// The receiver died before the payload landed.
+			nw.Lost++
+			return
+		}
 		// Enforce the minimum spacing between consecutive deliveries at
 		// the receiving NIC.
 		wait := nw.lastDelivered[to] + gap - env.Now()
@@ -157,8 +223,6 @@ func (nw *Network) SendSeg(p *sim.Proc, from, to int, size int64, seg, tag int, 
 			inbox.Send(msg)
 		})
 	})
-	nw.Messages++
-	nw.Bytes += size
 }
 
 // Recv blocks until any message addressed to node arrives (FIFO across the
@@ -186,6 +250,30 @@ func (nw *Network) RecvMatch(p *sim.Proc, node int, match func(*Message) bool) *
 		m := nw.take(p, node)
 		if match(m) {
 			return m
+		}
+		nw.pending[node] = append(nw.pending[node], m)
+	}
+}
+
+// RecvMatchUntil is RecvMatch with a virtual-time deadline: it returns
+// (msg, true) when a matching message is available before the deadline and
+// (nil, false) once the deadline passes. Non-matching messages drained
+// while waiting are buffered exactly as RecvMatch buffers them.
+func (nw *Network) RecvMatchUntil(p *sim.Proc, node int, deadline float64, match func(*Message) bool) (*Message, bool) {
+	for i, m := range nw.pending[node] {
+		if match(m) {
+			nw.pending[node] = append(nw.pending[node][:i], nw.pending[node][i+1:]...)
+			return m, true
+		}
+	}
+	for {
+		v, ok := nw.inbox[node].RecvUntil(p, deadline)
+		if !ok {
+			return nil, false
+		}
+		m := v.(*Message)
+		if match(m) {
+			return m, true
 		}
 		nw.pending[node] = append(nw.pending[node], m)
 	}

@@ -18,6 +18,7 @@ import (
 	"gridbcast/internal/intracluster"
 	"gridbcast/internal/mpi"
 	"gridbcast/internal/sched"
+	"gridbcast/internal/topology"
 )
 
 // enginePools shares recycled scheduling engines (candidate caches, sender
@@ -97,6 +98,7 @@ type Request struct {
 	refine      int
 	refineSet   bool
 	overlap     bool
+	replan      bool
 	net         NetConfig
 	netSet      bool
 	ctx         context.Context
@@ -185,6 +187,15 @@ func WithContext(ctx context.Context) Option { return func(r *Request) { r.ctx =
 // transmissions (the §5.2 model used by the paper's §6 simulations).
 func WithOverlap(on bool) Option { return func(r *Request) { r.overlap = on } }
 
+// WithReplan asks Plan to record the schedule construction's replay trace
+// so a later Session.Replan can absorb a single-cluster platform drift in
+// O(affected receivers) instead of rebuilding (DESIGN.md §11). The trace is
+// recorded for pinned traceable heuristics (the ECEF family) planning an
+// unsegmented, unrefined schedule with the sequential engine; every other
+// request shape plans normally and Replan falls back to a full rebuild.
+// The planned schedule is bit-identical with or without this option.
+func WithReplan() Option { return func(r *Request) { r.replan = true } }
+
 // Candidate records one heuristic tried during best-of selection.
 type Candidate struct {
 	// Heuristic is the candidate's display name.
@@ -241,6 +252,16 @@ type Plan struct {
 
 	net    NetConfig
 	netSet bool
+	// owner is the session that produced the plan (nil for hand-built plan
+	// literals); Execute and Replan reject plans from other sessions, whose
+	// schedules were timed against a different platform.
+	owner *Session
+	// req echoes the planning request (ctx stripped) so Replan can rebuild
+	// the same request shape on the drifted platform.
+	req Request
+	// trace is the construction replay log recorded under WithReplan for
+	// traceable unsegmented builds; nil otherwise (Replan then rebuilds).
+	trace *sched.BuildTrace
 }
 
 // validate pins down request errors at the facade boundary, before any
@@ -263,6 +284,11 @@ func (s *Session) validate(req Request) error {
 	}
 	if req.refineSet && (req.segmented || req.pipelined) {
 		return errors.New("gridbcast: WithRefine applies to unsegmented schedules only")
+	}
+	if req.netSet {
+		if err := req.net.Validate(s.g.TotalNodes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -325,7 +351,7 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sc, ss, built, err := s.buildOne(ctx, ep, h, req, p, sp)
+		sc, ss, tr, built, err := s.buildOne(ctx, ep, h, req, p, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -345,8 +371,12 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 		if pl.Schedule == nil && pl.Segmented == nil || span < pl.Makespan {
 			pl.Schedule, pl.Segmented = sc, ss
 			pl.Heuristic, pl.Makespan = name, span
+			pl.trace = tr
 		}
 	}
+	pl.owner = s
+	pl.req = req
+	pl.req.ctx = nil // a stored context would outlive its cancellation scope
 	if pl.Segmented != nil {
 		pl.SegSize, pl.K = pl.Segmented.SegSize, pl.Segmented.K
 		for _, on := range pl.Segmented.LocalSegmented {
@@ -361,21 +391,22 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 }
 
 // buildOne constructs one candidate schedule for h under the request's
-// mode, returning the schedule (exactly one of sc/ss non-nil) and how many
-// schedules were built. p/sp is the pre-costed problem for the mode
+// mode, returning the schedule (exactly one of sc/ss non-nil), the replay
+// trace when the request asked for one and the build supports it, and how
+// many schedules were built. p/sp is the pre-costed problem for the mode
 // (nil in pipelined mode, whose ladder costs one problem per rung).
-func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristic, req Request, p *sched.Problem, sp *sched.SegmentedProblem) (sc *Schedule, ss *SegmentedSchedule, built int, err error) {
+func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristic, req Request, p *sched.Problem, sp *sched.SegmentedProblem) (sc *Schedule, ss *SegmentedSchedule, tr *sched.BuildTrace, built int, err error) {
 	switch {
 	case req.pipelined:
 		opt := sched.Options{Overlap: req.overlap, SegmentedLocal: req.segLocal}
 		ladder := sched.DefaultSegmentLadder(req.size)
 		ss, err = sched.Pipelined{Base: h, Ladder: ladder}.BestContext(ctx, ep, s.g, req.root, req.size, opt)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
-		return nil, ss, len(ladder), nil
+		return nil, ss, nil, len(ladder), nil
 	case req.segmented:
-		return nil, ep.ScheduleSegmented(h, sp), 1, nil
+		return nil, ep.ScheduleSegmented(h, sp), nil, 1, nil
 	default:
 		if req.scanSet && req.scanWorkers != 1 {
 			workers := req.scanWorkers
@@ -385,6 +416,10 @@ func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristi
 			pb := checkoutScanBuilder(workers)
 			sc = pb.Schedule(h, p)
 			returnScanBuilder(pb)
+		} else if req.replan && req.heuristic != nil && !req.refineSet {
+			// Traced build: bit-identical schedule plus the replay log
+			// Session.Replan consumes (nil for non-traceable heuristics).
+			sc, tr = sched.ScheduleTraced(ep, h, p)
 		} else {
 			sc = ep.Schedule(h, p)
 		}
@@ -392,11 +427,11 @@ func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristi
 		if req.refineSet {
 			sc, err = sched.RefineContext(ctx, p, sc, req.refine)
 			if err != nil {
-				return nil, nil, 0, err
+				return nil, nil, nil, 0, err
 			}
 			built++
 		}
-		return sc, nil, built, nil
+		return sc, nil, tr, built, nil
 	}
 }
 
@@ -447,10 +482,29 @@ func (s *Session) PlanBatch(reqs []Request) ([]*Plan, error) {
 // option; an explicit net argument overrides it. With an ideal network the
 // measured makespan matches the plan's prediction.
 func (s *Session) Execute(plan *Plan, net ...NetConfig) (*Result, error) {
+	return s.ExecuteContext(nil, plan, net...)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: the simulator
+// checks ctx between event batches and the run returns ctx.Err() once it
+// fires, so even degraded executions (retries, re-parenting) stop within
+// one batch of the cancel. A nil ctx never cancels.
+func (s *Session) ExecuteContext(ctx context.Context, plan *Plan, net ...NetConfig) (*Result, error) {
 	if plan == nil || (plan.Schedule == nil && plan.Segmented == nil) {
 		return nil, errors.New("gridbcast: Execute needs a plan holding a schedule")
 	}
-	opt := mpi.Options{IntraShape: intracluster.Binomial, Overlap: plan.Overlap}
+	if plan.owner != nil && plan.owner != s {
+		return nil, errors.New("gridbcast: plan belongs to a different session; re-plan it against this platform (or use Session.Replan)")
+	}
+	// Plan literals carry no owner; catch schedules timed against a
+	// platform of a different shape before they reach execution.
+	if plan.Schedule != nil && len(plan.Schedule.RT) != s.g.N() {
+		return nil, fmt.Errorf("gridbcast: plan schedules %d clusters, platform has %d", len(plan.Schedule.RT), s.g.N())
+	}
+	if plan.Segmented != nil && len(plan.Segmented.RT) != s.g.N() {
+		return nil, fmt.Errorf("gridbcast: plan schedules %d clusters, platform has %d", len(plan.Segmented.RT), s.g.N())
+	}
+	opt := mpi.Options{IntraShape: intracluster.Binomial, Overlap: plan.Overlap, Ctx: ctx}
 	if len(net) > 0 {
 		opt.Net = net[0]
 	} else if plan.netSet {
@@ -466,14 +520,79 @@ func (s *Session) Execute(plan *Plan, net ...NetConfig) (*Result, error) {
 // "default MPI" baseline of the paper's Figure 6) and returns the measured
 // result.
 func (s *Session) ExecuteBinomial(root int, size int64, net ...NetConfig) (*Result, error) {
+	return s.ExecuteBinomialContext(nil, root, size, net...)
+}
+
+// ExecuteBinomialContext is ExecuteBinomial with cooperative cancellation
+// (see ExecuteContext).
+func (s *Session) ExecuteBinomialContext(ctx context.Context, root int, size int64, net ...NetConfig) (*Result, error) {
 	if err := s.validateRootSize(root, size); err != nil {
 		return nil, err
 	}
-	var opt mpi.Options
+	opt := mpi.Options{Ctx: ctx}
 	if len(net) > 0 {
 		opt.Net = net[0]
 	}
 	return mpi.ExecuteBinomialGridUnaware(s.g, root, size, opt)
+}
+
+// Replan absorbs a measured single-cluster platform drift into an existing
+// plan: the drifted platform reuses the session's edge-cost caches outside
+// the changed row/column (topology.PatchCosts), and plans that recorded a
+// construction trace (WithReplan) replay it in O(affected receivers)
+// instead of rebuilding (sched.ReplanSchedule); everything else re-plans
+// the stored request from scratch on the drifted platform. Either way the
+// returned plan is byte-identical (timing statistics aside) to what
+// Session.Plan on a freshly drifted platform would build — drift absorption
+// never changes the answer, only its cost. Returns the drifted session
+// alongside the plan; the input session and plan are unchanged.
+//
+// The plan must have been produced by this session's Plan (hand-built
+// literals and Session.Refine outputs carry no request to re-plan).
+func (s *Session) Replan(old *Plan, d PlatformDelta) (*Session, *Plan, error) {
+	if old == nil || old.owner == nil {
+		return nil, nil, errors.New("gridbcast: Replan needs a plan produced by Session.Plan")
+	}
+	if old.owner != s {
+		return nil, nil, errors.New("gridbcast: plan belongs to a different session")
+	}
+	ng, err := s.g.ApplyDelta(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	// ApplyDelta preserves platform validity (positive scales on validated
+	// parameters), so the drifted session skips NewSession's re-validation.
+	topology.PatchCosts(s.g, ng, d.Cluster)
+	ns := &Session{g: ng}
+	req := old.req
+	if old.trace != nil && old.Schedule != nil {
+		start := time.Now()
+		if p, err := sched.NewProblem(ng, req.root, req.size, sched.Options{Overlap: req.overlap}); err == nil {
+			if sc := sched.ReplanSchedule(p, old.Schedule, old.trace, d.Cluster); sc != nil {
+				pl := &Plan{
+					Heuristic: sc.Heuristic,
+					Root:      req.root, Size: req.size,
+					Schedule: sc, K: 1,
+					Makespan: sc.Makespan,
+					Overlap:  req.overlap,
+					net:      req.net, netSet: req.netSet,
+					owner: ns, req: req,
+					// The replay produces no trace of its own; a further
+					// Replan on this plan re-plans the stored request (and,
+					// with WithReplan still in it, records a fresh trace).
+				}
+				pl.Stats = BuildStats{Duration: time.Since(start), Schedules: 1}
+				return ns, pl, nil
+			}
+		}
+		// An inapplicable trace (or problem construction error) falls
+		// through to the full re-plan, which surfaces any real error.
+	}
+	pl, err := ns.Plan(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ns, pl, nil
 }
 
 // Refine improves an unsegmented plan's schedule by local search, sweeping
@@ -504,5 +623,11 @@ func (s *Session) Refine(ctx context.Context, plan *Plan, budget int) (*Plan, er
 	out.Schedule = sc
 	out.Heuristic = sc.Heuristic
 	out.Makespan = sc.Makespan
+	// The refined schedule is not the traced one, and the output no longer
+	// matches any stored request shape; Replan rejects it (re-plan with
+	// WithRefine + WithReplan to keep a drift-absorbing refined plan).
+	out.trace = nil
+	out.owner = nil
+	out.req = Request{}
 	return &out, nil
 }

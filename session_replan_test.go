@@ -1,0 +1,270 @@
+package gridbcast_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	gridbcast "gridbcast"
+	"gridbcast/internal/stats"
+	"gridbcast/internal/topology"
+)
+
+// planContent compares the exported outcome of two plans: everything a
+// caller can observe except the wall-clock build statistics.
+func planContent(t *testing.T, label string, got, want *gridbcast.Plan) {
+	t.Helper()
+	if got.Heuristic != want.Heuristic || got.Root != want.Root || got.Size != want.Size ||
+		got.SegSize != want.SegSize || got.K != want.K ||
+		got.LocalSegmented != want.LocalSegmented || got.Overlap != want.Overlap ||
+		got.Makespan != want.Makespan {
+		t.Fatalf("%s: plan header diverges:\ngot  %+v\nwant %+v", label, got, want)
+	}
+	if !reflect.DeepEqual(got.Schedule, want.Schedule) {
+		t.Fatalf("%s: schedules diverge", label)
+	}
+	if !reflect.DeepEqual(got.Segmented, want.Segmented) {
+		t.Fatalf("%s: segmented schedules diverge", label)
+	}
+	if !reflect.DeepEqual(got.Candidates, want.Candidates) {
+		t.Fatalf("%s: candidates diverge", label)
+	}
+}
+
+// TestReplanMatchesFromScratchPlan is the facade replanning contract: for
+// Grid5000 and random (clustered) platforms, every heuristic, unsegmented
+// and segmented requests, Session.Replan's output is byte-identical to
+// planning the same request from scratch on a freshly drifted platform —
+// whether the plan carried a replay trace (WithReplan + ECEF family) or
+// fell back to a rebuild.
+func TestReplanMatchesFromScratchPlan(t *testing.T) {
+	r := stats.NewRand(17)
+	grids := []*gridbcast.Grid{
+		gridbcast.Grid5000(),
+		topology.RandomClusteredGrid(r, 5),
+		topology.RandomGrid(r, 12),
+	}
+	for gi, g := range grids {
+		sess := mustSession(t, g)
+		d := gridbcast.PlatformDelta{Cluster: g.N() - 1, OutGapScale: 1.7, InLatScale: 2.2, BcastTime: 0.004}
+		fresh := func() *gridbcast.Session {
+			ng, err := g.ApplyDelta(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mustSession(t, ng)
+		}()
+		heuristics := append([]gridbcast.Heuristic{nil}, gridbcast.Heuristics()...)
+		for _, h := range heuristics {
+			modes := map[string][]gridbcast.Option{
+				"unsegmented": {gridbcast.WithSize(1 << 20), gridbcast.WithReplan()},
+				"segmented":   {gridbcast.WithSize(1 << 20), gridbcast.WithSegments(64 << 10), gridbcast.WithReplan()},
+			}
+			for mode, opts := range modes {
+				if h != nil {
+					opts = append(opts, gridbcast.WithHeuristic(h))
+				}
+				label := "best-of"
+				if h != nil {
+					label = h.Name()
+				}
+				label = label + "/" + mode
+				plan := mustPlan(t, sess, opts...)
+				ns, got, err := sess.Replan(plan, d)
+				if err != nil {
+					t.Fatalf("grid %d %s: Replan: %v", gi, label, err)
+				}
+				want, err := fresh.Plan(gridbcast.NewRequest(opts...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				planContent(t, label, got, want)
+				// The returned session owns the replanned plan and executes
+				// it: on the ideal network the measured makespan reproduces
+				// the drifted prediction.
+				res, err := ns.Execute(got)
+				if err != nil {
+					t.Fatalf("grid %d %s: Execute on drifted session: %v", gi, label, err)
+				}
+				if math.Abs(res.Makespan-got.Makespan) > 1e-9 {
+					t.Fatalf("grid %d %s: measured %g != predicted %g", gi, label, res.Makespan, got.Makespan)
+				}
+			}
+		}
+	}
+}
+
+// TestReplanChains: a second drift on the replanned session still matches
+// scratch planning (the replanned plan carries its request forward).
+func TestReplanChains(t *testing.T) {
+	g := gridbcast.Grid5000()
+	sess := mustSession(t, g)
+	plan := mustPlan(t, sess, gridbcast.WithSize(1<<20),
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT), gridbcast.WithReplan())
+	d1 := gridbcast.PlatformDelta{Cluster: 2, OutGapScale: 3}
+	d2 := gridbcast.PlatformDelta{Cluster: 4, InGapScale: 0.5, InLatScale: 0.5}
+	s1, p1, err := sess.Replan(plan, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, p2, err := s1.Replan(p1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := g.ApplyDelta(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g1.ApplyDelta(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustPlan(t, mustSession(t, g2), gridbcast.WithSize(1<<20),
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT), gridbcast.WithReplan())
+	planContent(t, "chained", p2, want)
+	if _, err := s2.Execute(p2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplanValidation: plans without a session, foreign plans and malformed
+// deltas are rejected with descriptive errors.
+func TestReplanValidation(t *testing.T) {
+	g := gridbcast.Grid5000()
+	sess := mustSession(t, g)
+	other := mustSession(t, gridbcast.Grid5000())
+	plan := mustPlan(t, sess, gridbcast.WithSize(1<<20), gridbcast.WithHeuristic(gridbcast.ECEF))
+	d := gridbcast.PlatformDelta{Cluster: 0, OutGapScale: 2}
+
+	if _, _, err := sess.Replan(nil, d); err == nil || !strings.Contains(err.Error(), "Session.Plan") {
+		t.Errorf("nil plan: %v", err)
+	}
+	literal := &gridbcast.Plan{Root: 0, Size: 1 << 20, Schedule: plan.Schedule}
+	if _, _, err := sess.Replan(literal, d); err == nil || !strings.Contains(err.Error(), "Session.Plan") {
+		t.Errorf("literal plan: %v", err)
+	}
+	if _, _, err := other.Replan(plan, d); err == nil || !strings.Contains(err.Error(), "different session") {
+		t.Errorf("foreign plan: %v", err)
+	}
+	if _, _, err := sess.Replan(plan, gridbcast.PlatformDelta{Cluster: g.N()}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("bad delta cluster: %v", err)
+	}
+	if _, _, err := sess.Replan(plan, gridbcast.PlatformDelta{Cluster: 0, InGapScale: -2}); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative delta scale: %v", err)
+	}
+	// Refined plans drop their request and are rejected.
+	refined, err := sess.Refine(context.Background(), plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Replan(refined, d); err == nil || !strings.Contains(err.Error(), "Session.Plan") {
+		t.Errorf("refined plan: %v", err)
+	}
+}
+
+// TestExecuteRejectsForeignPlan: a plan travels with its session; executing
+// it elsewhere — or executing a hand-built literal against a platform of a
+// different shape — fails up front instead of simulating nonsense.
+func TestExecuteRejectsForeignPlan(t *testing.T) {
+	sess := mustSession(t, gridbcast.Grid5000())
+	other := mustSession(t, gridbcast.RandomGrid(3, 4))
+	plan := mustPlan(t, sess, gridbcast.WithSize(1<<20), gridbcast.WithHeuristic(gridbcast.ECEFLAT))
+	if _, err := other.Execute(plan); err == nil || !strings.Contains(err.Error(), "different session") {
+		t.Errorf("foreign plan: %v", err)
+	}
+	// Literals have no owner; the shape guard catches the mismatch.
+	literal := &gridbcast.Plan{Root: 0, Size: 1 << 20, Schedule: plan.Schedule}
+	if _, err := other.Execute(literal); err == nil || !strings.Contains(err.Error(), "clusters") {
+		t.Errorf("foreign literal: %v", err)
+	}
+	// Same-shape literals still execute (the legacy wrapper contract).
+	if _, err := sess.Execute(literal); err != nil {
+		t.Errorf("same-platform literal: %v", err)
+	}
+}
+
+// TestExecuteContextCancellation: a cancelled context stops Execute and
+// ExecuteBinomial cooperatively.
+func TestExecuteContextCancellation(t *testing.T) {
+	sess := mustSession(t, gridbcast.Grid5000())
+	plan := mustPlan(t, sess, gridbcast.WithSize(1<<20), gridbcast.WithHeuristic(gridbcast.ECEFLAT))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.ExecuteContext(ctx, plan); err != context.Canceled {
+		t.Errorf("ExecuteContext: %v, want context.Canceled", err)
+	}
+	if _, err := sess.ExecuteBinomialContext(ctx, 0, 1<<20); err != context.Canceled {
+		t.Errorf("ExecuteBinomialContext: %v, want context.Canceled", err)
+	}
+	// A nil context never cancels.
+	if _, err := sess.ExecuteContext(nil, plan); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+}
+
+// TestPlanNetValidation: WithNet configurations are validated at planning
+// time, before anything is built.
+func TestPlanNetValidation(t *testing.T) {
+	sess := mustSession(t, gridbcast.Grid5000())
+	cases := []struct {
+		name string
+		net  gridbcast.NetConfig
+		want string
+	}{
+		{"negative jitter", gridbcast.NetConfig{Jitter: -0.1}, "jitter"},
+		{"jitter too large", gridbcast.NetConfig{Jitter: 1}, "jitter"},
+		{"jitter without seed", gridbcast.NetConfig{Jitter: 0.05}, "Seed"},
+		{"negative overhead", gridbcast.NetConfig{SoftwareOverhead: -1}, "overhead"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sess.Plan(gridbcast.NewRequest(gridbcast.WithSize(1<<20), gridbcast.WithNet(tc.net)))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	// A valid configuration passes and flows into execution.
+	plan := mustPlan(t, sess, gridbcast.WithSize(1<<20),
+		gridbcast.WithHeuristic(gridbcast.ECEF),
+		gridbcast.WithNet(gridbcast.NetConfig{Jitter: 0.01, Seed: 7}))
+	if _, err := sess.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseHeuristicRoundTrip: every typed heuristic value resolves back to
+// itself through its display name, and every advertised name parses.
+func TestParseHeuristicRoundTrip(t *testing.T) {
+	typed := []gridbcast.Heuristic{
+		gridbcast.FlatTree, gridbcast.FEF, gridbcast.FEFGapLat,
+		gridbcast.ECEF, gridbcast.ECEFLA, gridbcast.ECEFLAt,
+		gridbcast.ECEFLAT, gridbcast.BottomUp, gridbcast.Mixed,
+	}
+	for _, h := range typed {
+		got, err := gridbcast.ParseHeuristic(h.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if !reflect.DeepEqual(got, h) {
+			t.Errorf("%s: round trip returned %#v", h.Name(), got)
+		}
+	}
+	for _, name := range gridbcast.HeuristicNames() {
+		h, err := gridbcast.ParseHeuristic(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h.Name() != name {
+			t.Errorf("name %q parses to %q", name, h.Name())
+		}
+	}
+	if _, err := gridbcast.ParseHeuristic("nope"); err == nil ||
+		!strings.Contains(err.Error(), "unknown heuristic") {
+		t.Errorf("unknown name: %v", err)
+	}
+}
