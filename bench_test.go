@@ -10,7 +10,9 @@ package gridbcast_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	gridbcast "gridbcast"
 	"gridbcast/internal/collective"
@@ -654,6 +656,146 @@ func BenchmarkReplan(b *testing.B) {
 			}
 			if _, err := ns.Plan(req); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// cacheBenchMix is the repeat-heavy request stream of BenchmarkPlanCache: a
+// Zipf-like mix over 16 distinct requests (rank r appears ∝ 1/r, so a few
+// requests dominate — the serving pattern a plan cache exists for),
+// deterministically shuffled.
+func cacheBenchMix() []gridbcast.Request {
+	var mix []gridbcast.Request
+	for rank := 1; rank <= 16; rank++ {
+		req := gridbcast.NewRequest(gridbcast.WithHeuristic(gridbcast.ECEFLAT),
+			gridbcast.WithSize(1<<20), gridbcast.WithRoot(rank-1))
+		for c := 0; c < 64/rank; c++ {
+			mix = append(mix, req)
+		}
+	}
+	r := stats.NewRand(7)
+	r.Shuffle(len(mix), func(i, j int) { mix[i], mix[j] = mix[j], mix[i] })
+	return mix
+}
+
+// reportLatencyPercentiles attaches p50/p99 per-request latency to the
+// benchmark output.
+func reportLatencyPercentiles(b *testing.B, lat []time.Duration) {
+	b.Helper()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*50/100]), "p50-ns")
+	b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+}
+
+// BenchmarkPlanCache drives the Zipf repeat-heavy mix through Session.Plan
+// at N=512 (ECEF-LAT), cached against uncached. The cached side reports its
+// hit rate and p50/p99 per-request latency: after the 16 distinct keys are
+// resident, every request is a hit served in microseconds against the
+// ~10ms build — the >= 50x cache-hit acceptance bar of DESIGN.md §12 with
+// orders of magnitude to spare (gated coarsely by the benchdiff chain on
+// this benchmark's ns/op).
+func BenchmarkPlanCache(b *testing.B) {
+	g := topology.RandomGrid(stats.NewRand(1), 512)
+	mix := cacheBenchMix()
+	b.Run("cached", func(b *testing.B) {
+		sess, err := gridbcast.NewSession(g, gridbcast.WithPlanCache(64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat := make([]time.Duration, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := sess.Plan(mix[i%len(mix)]); err != nil {
+				b.Fatal(err)
+			}
+			lat[i] = time.Since(t0)
+		}
+		b.StopTimer()
+		st := sess.CacheStats()
+		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit-rate")
+		reportLatencyPercentiles(b, lat)
+	})
+	b.Run("uncached", func(b *testing.B) {
+		sess, err := gridbcast.NewSession(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat := make([]time.Duration, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := sess.Plan(mix[i%len(mix)]); err != nil {
+				b.Fatal(err)
+			}
+			lat[i] = time.Since(t0)
+		}
+		b.StopTimer()
+		reportLatencyPercentiles(b, lat)
+	})
+}
+
+// BenchmarkCacheMigration compares absorbing a drift on a warmed caching
+// session (N=512, 16 traced resident plans): Session.Replan migrates every
+// entry through one shared replayer — one platform clone + cost patch
+// amortized across the set — against flushing and rebuilding each plan
+// from scratch on the drifted platform. Every migrated plan is
+// byte-identical to its rebuilt counterpart (TestReplanMigratesCache);
+// only the cost differs.
+func BenchmarkCacheMigration(b *testing.B) {
+	const warm = 16
+	g := topology.RandomGrid(stats.NewRand(1), 512)
+	sess, err := gridbcast.NewSession(g, gridbcast.WithPlanCache(warm*2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]gridbcast.Request, warm)
+	for i := range reqs {
+		reqs[i] = gridbcast.NewRequest(gridbcast.WithHeuristic(gridbcast.ECEFLAT),
+			gridbcast.WithSize(1<<20), gridbcast.WithRoot(i))
+	}
+	var anchor *gridbcast.Plan
+	for _, req := range reqs {
+		pl, err := sess.Plan(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if anchor == nil {
+			anchor = pl
+		}
+	}
+	d := gridbcast.PlatformDelta{
+		Cluster:     anchor.Schedule.Events[len(anchor.Schedule.Events)-1].To,
+		OutGapScale: 1.5, InGapScale: 1.5,
+	}
+	if ns, _, err := sess.Replan(anchor, d); err != nil {
+		b.Fatal(err)
+	} else if got := ns.CacheStats().Migrated; got != warm {
+		b.Fatalf("migrated %d entries, want %d", got, warm)
+	}
+
+	b.Run("migrate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sess.Replan(anchor, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flush-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ng, err := g.ApplyDelta(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ns, err := gridbcast.NewSession(ng, gridbcast.WithPlanCache(warm*2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, req := range reqs {
+				if _, err := ns.Plan(req); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

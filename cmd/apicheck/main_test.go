@@ -85,7 +85,7 @@ func TestSnapshotRealPackage(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		"func NewSession(g *Grid) (*Session, error)",
+		"func NewSession(g *Grid, opts ...SessionOption) (*Session, error)",
 		"func (s *Session) Plan(req Request) (*Plan, error)",
 		"func WithHeuristic(h Heuristic) Option",
 	} {

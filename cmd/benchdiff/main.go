@@ -28,6 +28,14 @@
 //   - allocs/op: a regression when new > old·(1+tol) + -alloc-slack.
 //     Allocation counts are deterministic, so the floor is a small
 //     absolute slack rather than a magnitude cutoff.
+//   - When the NEW snapshot embeds a baseline (cmd/benchjson -baseline: the
+//     previous snapshot's code re-measured on the same machine and in the
+//     same session as the new results), timing comparisons use the baseline
+//     values instead of the committed predecessor's — a paired same-machine
+//     A/B, immune to recording-machine speed drift between snapshots.
+//     Benchmarks absent from the baseline still compare against the
+//     committed values, and allocs/op (machine-independent) always does.
+//     The baseline note is printed with the comparison for auditability.
 //
 // Exit status: 0 when clean, 1 on regressions, 2 on usage or read errors.
 package main
@@ -54,9 +62,11 @@ type result struct {
 
 // report mirrors cmd/benchjson's Report.
 type report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	Results     []result `json:"results"`
+	GeneratedAt  string   `json:"generated_at"`
+	GoVersion    string   `json:"go_version"`
+	Results      []result `json:"results"`
+	Baseline     []result `json:"baseline,omitempty"`
+	BaselineNote string   `json:"baseline_note,omitempty"`
 }
 
 // Options tune the comparison.
@@ -176,6 +186,27 @@ func snapshotIndex(name string) (int, bool) {
 	return 0, false
 }
 
+// ApplyBaseline rewrites the committed predecessor's timings with the new
+// snapshot's embedded same-machine baseline: for every benchmark present in
+// both, old ns/op becomes the baseline's ns/op. Allocation counts keep the
+// committed values (they are machine-independent, so the committed history
+// remains the stricter and correct reference), and benchmarks the baseline
+// does not cover keep their committed timings. The input slice is not
+// modified.
+func ApplyBaseline(old, baseline []result) []result {
+	ns := make(map[string]float64, len(baseline))
+	for _, r := range baseline {
+		ns[r.Name] = r.NsPerOp
+	}
+	out := append([]result(nil), old...)
+	for i := range out {
+		if v, ok := ns[out[i].Name]; ok {
+			out[i].NsPerOp = v
+		}
+	}
+	return out
+}
+
 // diffFiles loads and compares one snapshot pair, printing the human report
 // to stdout and appending the Markdown report to md (when non-nil). It
 // returns the number of regressed benchmarks.
@@ -188,7 +219,17 @@ func diffFiles(oldPath, newPath string, opt Options, verbose bool, md *strings.B
 	if err != nil {
 		return 0, err
 	}
-	deltas, added, removed := Compare(old.Results, new.Results, opt)
+	oldResults := old.Results
+	if len(new.Baseline) > 0 {
+		oldResults = ApplyBaseline(oldResults, new.Baseline)
+		fmt.Printf("benchdiff: %s embeds a same-machine baseline for %s; timings compared against it (note: %s)\n",
+			newPath, oldPath, orDash(new.BaselineNote))
+		if md != nil {
+			fmt.Fprintf(md, "> ⚖️ `%s` embeds a same-machine re-measurement of `%s`'s code; timings are compared against it. Note: %s\n\n",
+				newPath, oldPath, orDash(new.BaselineNote))
+		}
+	}
+	deltas, added, removed := Compare(oldResults, new.Results, opt)
 
 	bad := 0
 	for _, d := range deltas {
@@ -351,6 +392,13 @@ func main() {
 	if bad > 0 {
 		os.Exit(1)
 	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
 }
 
 func verdict(d *Delta) string {

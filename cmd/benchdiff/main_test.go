@@ -110,6 +110,50 @@ func TestCompareSeparateAllocTolerance(t *testing.T) {
 	}
 }
 
+func TestApplyBaselineRetimesSharedBenchmarks(t *testing.T) {
+	// The recording machine slowed down between snapshots: the committed
+	// predecessor says 1ms, but its code re-measured today takes 1.5ms. The
+	// paired baseline keeps the timing gate honest — the new snapshot's
+	// 1.55ms is +3% against the same-machine baseline, not +55% against the
+	// stale committed value — while allocs stay pinned to the committed
+	// (machine-independent) history.
+	old := []result{
+		{Name: "BenchmarkA", NsPerOp: 1e6, AllocsPerOp: f(100)},
+		{Name: "BenchmarkUncovered", NsPerOp: 1e6, AllocsPerOp: f(50)},
+	}
+	baseline := []result{
+		{Name: "BenchmarkA", NsPerOp: 1.5e6, AllocsPerOp: f(100)},
+		{Name: "BenchmarkOnlyInBaseline", NsPerOp: 9e9},
+	}
+	new := []result{
+		{Name: "BenchmarkA", NsPerOp: 1.55e6, AllocsPerOp: f(120)},
+		{Name: "BenchmarkUncovered", NsPerOp: 1.55e6, AllocsPerOp: f(50)},
+	}
+	rebased := ApplyBaseline(old, baseline)
+	if old[0].NsPerOp != 1e6 {
+		t.Fatal("ApplyBaseline mutated its input")
+	}
+	if len(rebased) != 2 || rebased[0].NsPerOp != 1.5e6 || *rebased[0].AllocsPerOp != 100 {
+		t.Fatalf("rebased = %+v", rebased)
+	}
+	deltas, _, _ := Compare(rebased, new, opts())
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; d.NsRegressed {
+		t.Fatalf("paired +3%% flagged as regression: %+v", d)
+	}
+	if d := byName["BenchmarkA"]; !d.AllocsRegressed {
+		t.Fatalf("alloc growth hidden by the baseline: %+v", d)
+	}
+	// A benchmark the baseline does not cover still compares against the
+	// committed timing — an incomplete baseline cannot mute the gate.
+	if d := byName["BenchmarkUncovered"]; !d.NsRegressed {
+		t.Fatalf("uncovered benchmark skipped the committed comparison: %+v", d)
+	}
+}
+
 func TestSortSnapshotsNumeric(t *testing.T) {
 	// The shell's `ls | sort -V` ordering broke down on double-digit
 	// indices in some locales; the tool owns the ordering now, numerically.

@@ -12,6 +12,16 @@
 // `go test -run NONE -bench <regex> -benchmem -benchtime <t>` on the module
 // root and parses its output. Lines that are not benchmark results are
 // ignored, so transcripts with metadata (goos, pkg, PASS) parse cleanly.
+//
+// -baseline FILE embeds another benchjson snapshot — a same-machine,
+// same-session re-measurement of the PREVIOUS snapshot's code — into the
+// output. cmd/benchdiff's chain then compares timings against that paired
+// baseline instead of the committed predecessor, which keeps the gate
+// meaningful when the recording machine's speed has drifted between
+// snapshots (allocation counts, being machine-independent, are still
+// compared against the committed predecessor). -baseline-note records why
+// the rebaseline was needed; benchdiff prints it with every affected
+// comparison so the provenance is auditable.
 package main
 
 import (
@@ -57,6 +67,11 @@ type Report struct {
 	// that feed cmd/benchdiff.
 	Count   int      `json:"count,omitempty"`
 	Results []Result `json:"results"`
+	// Baseline, when present, holds a re-measurement of the PREVIOUS
+	// snapshot's code taken on the same machine and in the same session as
+	// Results (see -baseline). BaselineNote documents why.
+	Baseline     []Result `json:"baseline,omitempty"`
+	BaselineNote string   `json:"baseline_note,omitempty"`
 }
 
 func main() {
@@ -65,14 +80,26 @@ func main() {
 	count := flag.Int("count", 1, "go test -count repetitions; each benchmark keeps its best run")
 	in := flag.String("in", "", "parse this transcript (\"-\" for stdin) instead of running go test")
 	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "benchjson snapshot re-measuring the previous snapshot's code on this machine; embedded for benchdiff's paired timing comparison")
+	baselineNote := flag.String("baseline-note", "", "provenance note stored alongside -baseline")
 	flag.Parse()
 	if *count < 1 {
 		*count = 1
+	}
+	if *baselineNote != "" && *baseline == "" {
+		fatal(fmt.Errorf("-baseline-note given without -baseline"))
 	}
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+	}
+	if *baseline != "" {
+		results, err := LoadResults(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Baseline, rep.BaselineNote = results, *baselineNote
 	}
 	// Results are fully collected — and, in run mode, the go test exit
 	// status checked — before the output file is touched, so a failed or
@@ -208,6 +235,23 @@ func mergeBest(rs []Result) []Result {
 		out = append(out, r)
 	}
 	return out
+}
+
+// LoadResults reads the Results of an existing benchjson snapshot, for
+// embedding as a Baseline.
+func LoadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep.Results, nil
 }
 
 // moduleRoot resolves the enclosing module's directory, so the benchmarks

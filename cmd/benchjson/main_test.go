@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,5 +54,29 @@ BenchmarkFoo-4     	      20	      4100 ns/op	      10 allocs/op
 	}
 	if rs[1].Name != "BenchmarkBar" {
 		t.Fatalf("order not preserved: %+v", rs[1])
+	}
+}
+
+func TestLoadResultsForBaselineEmbedding(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BASE.json")
+	const snap = `{"generated_at":"2026-08-08T12:00:00Z","go_version":"go1.24",
+  "results":[{"name":"BenchmarkFoo","iterations":20,"ns_per_op":1500000}]}`
+	if err := os.WriteFile(path, []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := LoadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Name != "BenchmarkFoo" || rs[0].NsPerOp != 1.5e6 {
+		t.Fatalf("results = %+v", rs)
+	}
+	empty := filepath.Join(dir, "EMPTY.json")
+	if err := os.WriteFile(empty, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResults(empty); err == nil {
+		t.Fatal("empty snapshot accepted as a baseline")
 	}
 }

@@ -1,0 +1,220 @@
+// Package plancache is the memoizing layer under the facade's Session: a
+// bounded, concurrency-safe cache of immutable planning results keyed by
+// canonical request keys, with singleflight collapse of concurrent misses
+// and LRU eviction.
+//
+// The cache stores opaque values (the facade's *Plan) and never copies or
+// mutates them; the contract is that cached values are immutable — every
+// hit and every collapsed waiter receives the same pointer the builder
+// produced. Keys are caller-canonicalised strings (the facade folds the
+// platform fingerprint, generation counter and the normalised request
+// option set into them; see DESIGN.md §12), so the cache itself needs no
+// knowledge of platforms or requests and invalidation is free: bumping the
+// generation changes every key, and the stale entries age out through the
+// LRU bound.
+package plancache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// ErrBuildPanic is the error collapsed waiters receive when the build they
+// were waiting on panicked (the panic itself propagates to the builder).
+var ErrBuildPanic = errors.New("plancache: build panicked")
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups served from a completed entry.
+	Hits uint64
+	// Misses counts lookups that started a build.
+	Misses uint64
+	// Collapsed counts lookups that arrived while the same key was being
+	// built and waited for that build instead of starting their own.
+	Collapsed uint64
+	// Evicted counts entries dropped by the LRU capacity bound.
+	Evicted uint64
+	// Migrated counts entries inserted by drift migration (Add with
+	// migrated=true) rather than built through Do.
+	Migrated uint64
+}
+
+// Cache is the bounded memo. The zero value is not usable; construct with
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // completed entries, front = most recently used
+	ents     map[string]*entry
+	stats    Stats
+}
+
+// entry is one key's slot: in flight (el == nil, done open) until its
+// build completes, then resident in the LRU list. val and err are written
+// exactly once, before done is closed, so waiters may read them without
+// the lock after <-done.
+type entry struct {
+	key  string
+	el   *list.Element
+	val  any
+	err  error
+	done chan struct{}
+}
+
+// New builds a cache bounded to capacity completed entries (clamped to at
+// least 1). In-flight builds are not counted against the bound.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		ents:     make(map[string]*entry),
+	}
+}
+
+// Do returns the cached value for key, building it at most once per
+// residency: a hit returns the stored value, a miss runs build, and
+// lookups that arrive during the build block until it completes and share
+// its result (value or error) without building again. Build errors are
+// returned to the builder and every collapsed waiter but are not cached —
+// the next lookup retries. If build panics, the panic propagates to the
+// builder, waiters receive ErrBuildPanic, and the key is cleared.
+func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.ents[key]; ok {
+		if e.el != nil {
+			c.stats.Hits++
+			c.ll.MoveToFront(e.el)
+			v := e.val
+			c.mu.Unlock()
+			return v, nil
+		}
+		c.stats.Collapsed++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	c.ents[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// build panicked: release the waiters and clear the slot so the
+		// key stays buildable, then let the panic propagate.
+		c.mu.Lock()
+		e.err = ErrBuildPanic
+		close(e.done)
+		delete(c.ents, key)
+		c.mu.Unlock()
+	}()
+	v, err := build()
+	completed = true
+
+	c.mu.Lock()
+	e.val, e.err = v, err
+	close(e.done)
+	if err != nil {
+		delete(c.ents, key)
+		c.mu.Unlock()
+		return v, err
+	}
+	e.el = c.ll.PushFront(e)
+	c.evictLocked()
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Get returns the completed value for key without building, refreshing its
+// recency on a hit. In-flight keys report a miss (Get never blocks).
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.ents[key]
+	if !ok || e.el == nil {
+		return nil, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(e.el)
+	return e.val, true
+}
+
+// Add inserts a completed value at the most-recent position, bypassing the
+// build path — the drift-migration entry point (migrated=true counts the
+// insert in Stats.Migrated). An existing completed entry is overwritten in
+// place; an in-flight build keeps the slot (its own result wins, since it
+// was built against the same key).
+func (c *Cache) Add(key string, v any, migrated bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if migrated {
+		c.stats.Migrated++
+	}
+	if e, ok := c.ents[key]; ok {
+		if e.el != nil {
+			e.val = v
+			c.ll.MoveToFront(e.el)
+		}
+		return
+	}
+	e := &entry{key: key, val: v, done: closedChan}
+	e.el = c.ll.PushFront(e)
+	c.ents[key] = e
+	c.evictLocked()
+}
+
+// Range calls f for every completed entry from most to least recently
+// used, stopping early when f returns false. Recency is not refreshed. f
+// runs under the cache lock: it must not call back into the cache.
+func (c *Cache) Range(f func(key string, v any) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !f(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// Len returns the number of completed resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the capacity bound.
+func (c *Cache) Cap() int { return c.capacity }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// evictLocked enforces the capacity bound; callers hold mu.
+func (c *Cache) evictLocked() {
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.ents, e.key)
+		c.stats.Evicted++
+	}
+}
+
+// closedChan is the pre-closed done channel shared by Add'ed entries.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()

@@ -1,0 +1,237 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheDoSingleflightInvariant hammers one key from many goroutines (run
+// under -race in CI): however the arrivals interleave, exactly one build
+// runs, every caller receives the builder's pointer, and the counters
+// account for every lookup as the miss, a hit or a collapsed waiter.
+func TestCacheDoSingleflightInvariant(t *testing.T) {
+	const workers = 32
+	c := New(8)
+	var builds atomic.Int64
+	want := &struct{ x int }{x: 42}
+	var wg sync.WaitGroup
+	got := make([]any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, err := c.Do("k", func() (any, error) {
+				builds.Add(1)
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			got[w] = v
+		}(w)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("%d builds, want 1", builds.Load())
+	}
+	for w, v := range got {
+		if v != want {
+			t.Fatalf("worker %d got %p, want the builder's pointer", w, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Collapsed != workers-1 {
+		t.Fatalf("stats %+v: want 1 miss and %d hits+collapsed", st, workers-1)
+	}
+}
+
+// TestCacheDoCollapseDeterministic forces the collapse path: a second lookup
+// arrives while the first build is provably still in flight, so it must be
+// counted as collapsed and share the builder's value.
+func TestCacheDoCollapseDeterministic(t *testing.T) {
+	c := New(8)
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	want := &struct{}{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		v, err := c.Do("k", func() (any, error) {
+			close(inBuild)
+			<-release
+			return want, nil
+		})
+		if err != nil || v != want {
+			t.Errorf("builder: v=%p err=%v", v, err)
+		}
+	}()
+	<-inBuild
+	go func() {
+		defer wg.Done()
+		v, err := c.Do("k", func() (any, error) {
+			t.Error("waiter built despite an in-flight entry")
+			return nil, nil
+		})
+		if err != nil || v != want {
+			t.Errorf("waiter: v=%p err=%v", v, err)
+		}
+	}()
+	// The second Do can only collapse (the entry is in flight until we
+	// release it); wait for it to register, then let the build finish.
+	for c.Stats().Collapsed < 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	if st := c.Stats(); st.Misses != 1 || st.Collapsed != 1 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want exactly 1 miss + 1 collapsed", st)
+	}
+}
+
+// TestCacheDoErrorsNotCached: a failed build surfaces its error, does not
+// occupy a slot, and the next lookup rebuilds.
+func TestCacheDoErrorsNotCached(t *testing.T) {
+	c := New(2)
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error cached: len = %d", c.Len())
+	}
+	v, err := c.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("rebuild after error: v=%v err=%v", v, err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("stats %+v, want 2 misses", st)
+	}
+}
+
+// TestCacheDoBuildPanic: a panicking build propagates to its caller, releases
+// any waiter with ErrBuildPanic, and leaves the key buildable.
+func TestCacheDoBuildPanic(t *testing.T) {
+	c := New(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		c.Do("k", func() (any, error) { panic("kaboom") })
+	}()
+	if c.Len() != 0 {
+		t.Fatal("panicked build left a resident entry")
+	}
+	if v, err := c.Do("k", func() (any, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("rebuild after panic: v=%v err=%v", v, err)
+	}
+}
+
+// TestCacheLRUEvictionProperty drives the cache with a random key stream and
+// checks it against a reference model after every operation: residency is
+// exactly the capacity most-recently-used distinct keys, and the eviction
+// counter matches the model's.
+func TestCacheLRUEvictionProperty(t *testing.T) {
+	const capacity, keys, ops = 7, 20, 2000
+	c := New(capacity)
+	r := rand.New(rand.NewSource(1))
+	var model []string // front = most recently used
+	evicted := 0
+	touch := func(k string) {
+		for i, mk := range model {
+			if mk == k {
+				model = append(model[:i], model[i+1:]...)
+				break
+			}
+		}
+		model = append([]string{k}, model...)
+		if len(model) > capacity {
+			model = model[:capacity]
+			evicted++
+		}
+	}
+	for op := 0; op < ops; op++ {
+		k := fmt.Sprintf("k%d", r.Intn(keys))
+		switch r.Intn(3) {
+		case 0:
+			c.Add(k, k, false)
+		default:
+			if _, err := c.Do(k, func() (any, error) { return k, nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		touch(k)
+		if c.Len() != len(model) {
+			t.Fatalf("op %d: len %d, model %d", op, c.Len(), len(model))
+		}
+		var got []string
+		c.Range(func(key string, v any) bool {
+			if v != key {
+				t.Fatalf("op %d: key %s holds %v", op, key, v)
+			}
+			got = append(got, key)
+			return true
+		})
+		for i, k := range got {
+			if model[i] != k {
+				t.Fatalf("op %d: recency order %v, model %v", op, got, model)
+			}
+		}
+	}
+	if st := c.Stats(); int(st.Evicted) != evicted {
+		t.Fatalf("evicted %d, model %d", st.Evicted, evicted)
+	}
+}
+
+// TestCacheAddMigratedAndGet covers the migration entry point: Add'ed values
+// are immediately resident, counted, and visible to Get and Do without a
+// rebuild.
+func TestCacheAddMigratedAndGet(t *testing.T) {
+	c := New(4)
+	c.Add("m", "migrated", true)
+	if st := c.Stats(); st.Migrated != 1 {
+		t.Fatalf("stats %+v, want 1 migrated", st)
+	}
+	if v, ok := c.Get("m"); !ok || v != "migrated" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	v, err := c.Do("m", func() (any, error) {
+		t.Error("Do rebuilt a migrated entry")
+		return nil, nil
+	})
+	if err != nil || v != "migrated" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("Get invented an entry")
+	}
+	// Overwrite keeps a single slot.
+	c.Add("m", "v2", false)
+	if v, _ := c.Get("m"); v != "v2" || c.Len() != 1 {
+		t.Fatalf("overwrite: v=%v len=%d", v, c.Len())
+	}
+}
+
+// TestCacheCapacityClamp: non-positive capacities clamp to 1 instead of
+// producing an unbounded or unusable cache.
+func TestCacheCapacityClamp(t *testing.T) {
+	c := New(0)
+	if c.Cap() != 1 {
+		t.Fatalf("cap = %d, want 1", c.Cap())
+	}
+	c.Add("a", 1, false)
+	c.Add("b", 2, false)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}

@@ -94,6 +94,15 @@ func (f SizeFunc) Valid() bool { return len(f.pts) > 0 }
 // Points returns a copy of the interpolation points.
 func (f SizeFunc) Points() []Point { return append([]Point(nil), f.pts...) }
 
+// NumPoints returns the interpolation point count.
+func (f SizeFunc) NumPoints() int { return len(f.pts) }
+
+// PointAt returns the i-th interpolation point without copying the backing
+// slice. Points' defensive copy is one allocation per call, which callers
+// digesting a full n² wide-area matrix (topology.Grid.Fingerprint) cannot
+// afford.
+func (f SizeFunc) PointAt(i int) Point { return f.pts[i] }
+
 // At evaluates the function at message size m bytes.
 func (f SizeFunc) At(m int64) float64 {
 	if len(f.pts) == 0 {

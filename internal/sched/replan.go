@@ -192,6 +192,30 @@ func ScheduleTraced(ep *EnginePool, h Heuristic, p *Problem) (*Schedule, *BuildT
 // schedule, that schedule is bit-identical to h.Schedule(p) on the drifted
 // problem.
 func ReplanSchedule(p *Problem, old *Schedule, tr *BuildTrace, changed int) *Schedule {
+	var r Replanner
+	return r.Replan(p, old, tr, changed)
+}
+
+// Replanner replays traces through reusable scratch: the replay-local
+// state vectors, candidate arrays and lookahead-heap backing are recycled
+// across calls, so migrating a batch of traced schedules onto one drifted
+// platform (the facade plan cache's Replan migration) pays the replay, not
+// per-call allocation. The zero value is ready to use. A Replanner is not
+// safe for concurrent use; the schedules it returns are freshly allocated
+// and independent of the scratch.
+type Replanner struct {
+	s  state
+	rp replayer
+}
+
+// NewReplanner returns an empty Replanner (equivalent to the zero value;
+// provided for call-site clarity).
+func NewReplanner() *Replanner { return &Replanner{} }
+
+// Replan is ReplanSchedule through the reusable scratch: same contract,
+// same byte-identical result (pinned by TestReplannerReuseByteIdentical
+// against the one-shot path).
+func (r *Replanner) Replan(p *Problem, old *Schedule, tr *BuildTrace, changed int) *Schedule {
 	if tr == nil || old == nil || p == nil ||
 		p.N != tr.n || p.Root != tr.root ||
 		changed < 0 || changed >= p.N ||
@@ -199,7 +223,7 @@ func ReplanSchedule(p *Problem, old *Schedule, tr *BuildTrace, changed int) *Sch
 		return nil
 	}
 	n := p.N
-	s := newState(p)
+	s := r.resetState(p)
 	sched := &Schedule{
 		Heuristic:  tr.h.name,
 		Root:       p.Root,
@@ -208,7 +232,7 @@ func ReplanSchedule(p *Problem, old *Schedule, tr *BuildTrace, changed int) *Sch
 		Idle:       make([]float64, n),
 		Completion: make([]float64, n),
 	}
-	rp := newReplayer(p, tr, changed, s)
+	rp := r.resetReplayer(p, tr, changed, s)
 
 	// Once the drift has perturbed enough senders, per-round taint
 	// challenges stop being cheaper than just running the engine on the
@@ -303,25 +327,41 @@ type replayer struct {
 	chLA  laHeap // lazy extremum heap for F(changed)
 }
 
-func newReplayer(p *Problem, tr *BuildTrace, changed int, s *state) *replayer {
+// resetState rebuilds the root-only scheduling state in the Replanner's
+// reusable buffers — identical to newState(p) field for field.
+func (r *Replanner) resetState(p *Problem) *state {
+	s := &r.s
+	s.inA = resizeBools(s.inA, p.N)
+	s.rt = resizeFloats(s.rt, p.N)
+	s.avail = resizeFloats(s.avail, p.N)
+	s.sizeA = 1
+	s.inA[p.Root] = true
+	return s
+}
+
+// resetReplayer initialises the replay state in the Replanner's reusable
+// buffers; every field is (re)written, so values left by a previous replay
+// cannot leak into this one.
+func (r *Replanner) resetReplayer(p *Problem, tr *BuildTrace, changed int, s *state) *replayer {
 	n := p.N
-	rp := &replayer{
-		h:         tr.h,
-		changed:   changed,
-		curK:      append([]float64(nil), tr.initK...),
-		curS:      append([]int32(nil), tr.initS...),
-		curF:      append([]float64(nil), tr.initF...),
-		curT:      append([]int32(nil), tr.initT...),
-		availOld:  make([]float64, n),
-		tainted:   make([]bool, n),
-		joinOrder: append(make([]int32, 0, n), int32(p.Root)),
-		hot:       !s.inA[changed], // the root never leaves A
-	}
+	rp := &r.rp
+	rp.h = tr.h
+	rp.changed = changed
+	rp.curK = append(rp.curK[:0], tr.initK...)
+	rp.curS = append(rp.curS[:0], tr.initS...)
+	rp.curF = append(rp.curF[:0], tr.initF...)
+	rp.curT = append(rp.curT[:0], tr.initT...)
+	rp.availOld = resizeFloats(rp.availOld, n)
+	rp.tainted = resizeBools(rp.tainted, n)
+	rp.taintList = rp.taintList[:0]
+	rp.joinOrder = append(rp.joinOrder[:0], int32(p.Root))
+	rp.hot = !s.inA[changed] // the root never leaves A
+	rp.dirty = rp.dirty[:0]
 	la := tr.h.kind != laNone
 	if la {
 		// The drifted cluster's lookahead weight towards every receiver,
 		// hoisted out of the replay (it does not depend on the round).
-		rp.wcol = make([]float64, n)
+		rp.wcol = resizeFloats(rp.wcol, n)
 		for j := 0; j < n; j++ {
 			if j == changed {
 				continue
@@ -336,7 +376,7 @@ func newReplayer(p *Problem, tr *BuildTrace, changed int, s *state) *replayer {
 		// already differs under the drift. Between deltas the (wc, F, top)
 		// relation is fixed, so receivers outside the set keep their traced
 		// cost until a delta re-adds them.
-		rp.inD = make([]bool, n)
+		rp.inD = resizeBools(rp.inD, n)
 		for j := 0; j < n && n > 1; j++ {
 			if j == changed || s.inA[j] {
 				continue
@@ -347,13 +387,34 @@ func newReplayer(p *Problem, tr *BuildTrace, changed int, s *state) *replayer {
 		}
 		// Lazy extremum heap for the drifted receiver's own lookahead term
 		// (its whole weight row drifted, so the trace says nothing).
-		rp.chLA.es = laEntriesFor(make([]laEntry, 0, n-1), tr.h, p, changed, -1)
+		rp.chLA.es = laEntriesFor(rp.chLA.es[:0], tr.h, p, changed, -1)
 		rp.chLA.heapify()
 	}
 	// Exact key of the drifted receiver (its column drifted, so the trace
 	// says nothing): the usual cached-best-sender scheme over A.
 	rp.chK, rp.chS = rp.scanKey(p, s.avail, changed)
 	return rp
+}
+
+// resizeFloats returns a zeroed length-n slice, reusing buf's backing
+// array when it is large enough.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// resizeBools is resizeFloats for bool buffers.
+func resizeBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // fMoved reports whether receiver j's lookahead term under the drift can

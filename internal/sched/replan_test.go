@@ -65,6 +65,54 @@ func TestReplanByteIdentical(t *testing.T) {
 	}
 }
 
+// TestReplannerReuseByteIdentical: one Replanner replaying many traces
+// back to back — different heuristics, drifts and platforms through the
+// same scratch buffers — produces exactly the schedules the one-shot
+// ReplanSchedule path produces. This is the batch-migration contract the
+// facade's plan cache relies on: no state may leak between replays.
+func TestReplannerReuseByteIdentical(t *testing.T) {
+	r := stats.NewRand(17)
+	grids := []*topology.Grid{
+		topology.Grid5000(),
+		topology.RandomClusteredGrid(r, 6),
+		topology.RandomGrid(r, 24),
+	}
+	ep := NewEnginePool()
+	rpl := NewReplanner()
+	for _, g := range grids {
+		n := g.N()
+		p := MustProblem(g, 0, 1<<20, Options{})
+		for _, c := range []int{0, n / 2, n - 1} {
+			for _, d := range replanDeltas(c) {
+				ng, err := g.ApplyDelta(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				topology.PatchCosts(g, ng, c)
+				pNew := MustProblem(ng, 0, 1<<20, Options{})
+				for _, h := range ECEFFamily() {
+					sc, tr := ScheduleTraced(ep, h, p)
+					want := ReplanSchedule(pNew, sc, tr, c)
+					got := rpl.Replan(pNew, sc, tr, c)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s delta %+v: reused Replanner diverges from one-shot replay",
+							h.Name(), d)
+					}
+				}
+			}
+		}
+	}
+	// Rejections reset nothing and later replays still work.
+	p := MustProblem(grids[0], 0, 1<<20, Options{})
+	sc, tr := ScheduleTraced(ep, ECEFLAT(), p)
+	if rpl.Replan(p, sc, nil, 0) != nil {
+		t.Error("nil trace accepted")
+	}
+	if got := rpl.Replan(p, sc, tr, 0); !reflect.DeepEqual(got, ReplanSchedule(p, sc, tr, 0)) {
+		t.Error("replay after a rejection diverges")
+	}
+}
+
 // TestReplanRejectsInapplicableTrace: mismatched dimensions, roots or
 // missing traces return nil instead of a wrong schedule.
 func TestReplanRejectsInapplicableTrace(t *testing.T) {

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"math"
+
+	"gridbcast/internal/plogp"
+)
+
+// Fingerprint digests every cost-bearing parameter of the platform into a
+// stable 64-bit value: cluster count, per-cluster node counts, modelled
+// broadcast times and intra-link pLogP parameters, and the full wide-area
+// matrix (latency plus the gap/overhead interpolation points — the source
+// data of every G/L/W/WT table EdgeCosts can evaluate, at every message
+// size). Two grids share a fingerprint exactly when they would plan
+// identically, so the facade's plan cache keys on it; any single
+// perturbation of a cost parameter changes the digest. Cosmetic state —
+// cluster names, the costed-size cache — is excluded.
+//
+// The digest is FNV-1a over the exact float64 bit patterns, so it is
+// stable across processes and Go releases and distinguishes values that
+// differ below printing precision.
+func (g *Grid) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	f := func(x float64) { mix(math.Float64bits(x)) }
+	sf := func(fn plogp.SizeFunc) {
+		// Indexed access, not Points(): the defensive copy there would cost
+		// one allocation per link of the n² matrix digested below.
+		n := fn.NumPoints()
+		mix(uint64(n))
+		for i := 0; i < n; i++ {
+			p := fn.PointAt(i)
+			mix(uint64(p.Size))
+			f(p.Sec)
+		}
+	}
+	params := func(p plogp.Params) {
+		f(p.L)
+		sf(p.G)
+		sf(p.Os)
+		sf(p.Or)
+	}
+	mix(uint64(g.N()))
+	for _, c := range g.Clusters {
+		mix(uint64(c.Nodes))
+		f(c.BcastTime)
+		params(c.Intra)
+	}
+	for i, row := range g.Inter {
+		for j, p := range row {
+			if i == j {
+				continue
+			}
+			params(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"testing"
+
+	"gridbcast/internal/plogp"
+	"gridbcast/internal/stats"
+)
+
+// TestFingerprintStable: the digest is a pure function of the platform's
+// cost parameters — identical across calls, across clones, and across
+// cosmetic changes (cluster names, warmed cost caches).
+func TestFingerprintStable(t *testing.T) {
+	g := Grid5000()
+	fp := g.Fingerprint()
+	if fp != g.Fingerprint() {
+		t.Fatal("fingerprint varies across calls")
+	}
+	if got := g.Clone().Fingerprint(); got != fp {
+		t.Fatalf("clone fingerprint %x != %x", got, fp)
+	}
+	g.EdgeCosts(1 << 20) // warming the cost cache is cosmetic
+	if got := g.Fingerprint(); got != fp {
+		t.Fatalf("costed fingerprint %x != %x", got, fp)
+	}
+	renamed := g.Clone()
+	renamed.Clusters[0].Name = "elsewhere"
+	if got := renamed.Fingerprint(); got != fp {
+		t.Fatalf("renaming a cluster changed the fingerprint: %x != %x", got, fp)
+	}
+}
+
+// TestFingerprintSensitivity: any single cost-table perturbation — one
+// wide-area latency, one gap point, a node count, a modelled broadcast
+// time, one intra-link parameter — produces a different digest.
+func TestFingerprintSensitivity(t *testing.T) {
+	r := stats.NewRand(5)
+	for name, base := range map[string]*Grid{
+		"grid5000":  Grid5000(),
+		"clustered": RandomClusteredGrid(r, 6),
+	} {
+		fp := base.Fingerprint()
+		perturbations := map[string]func(*Grid){
+			"inter latency":   func(g *Grid) { g.Inter[0][1].L *= 1.0000001 },
+			"inter gap":       func(g *Grid) { g.Inter[1][0].G = g.Inter[1][0].G.Scale(1.0000001) },
+			"reverse differs": func(g *Grid) { g.Inter[1][0].L = g.Inter[0][1].L * 3 },
+			"node count":      func(g *Grid) { g.Clusters[1].Nodes++ },
+			"bcast time":      func(g *Grid) { g.Clusters[2].BcastTime += 1e-9 },
+			"intra latency":   func(g *Grid) { g.Clusters[0].Intra.L += 1e-12 },
+			"intra gap":       func(g *Grid) { g.Clusters[0].Intra.G = plogp.Linear(1e-5, 1e-8) },
+		}
+		for pname, perturb := range perturbations {
+			ng := base.Clone()
+			perturb(ng)
+			if ng.Fingerprint() == fp {
+				t.Errorf("%s: %s perturbation left the fingerprint unchanged", name, pname)
+			}
+		}
+		// And a single-cluster drift (the Replan unit) always moves it.
+		ng, err := base.ApplyDelta(Delta{Cluster: base.N() - 1, OutGapScale: 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ng.Fingerprint() == fp {
+			t.Errorf("%s: ApplyDelta left the fingerprint unchanged", name)
+		}
+	}
+}

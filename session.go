@@ -15,8 +15,11 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"gridbcast/internal/intracluster"
 	"gridbcast/internal/mpi"
+	"gridbcast/internal/plancache"
 	"gridbcast/internal/sched"
 	"gridbcast/internal/topology"
 )
@@ -63,23 +66,119 @@ func returnScanBuilder(pb *sched.ParallelBuilder) {
 // runs through pooled incremental engines. A Session is safe for concurrent
 // use — many goroutines may Plan, PlanBatch and Execute against one warmed
 // platform, the serving-scale scenario the per-call API could not express.
+//
+// With WithPlanCache, the session additionally memoizes planning results:
+// repeated requests return the cached immutable *Plan, concurrent misses
+// on one key collapse into a single build, and a later Session.Replan
+// migrates the cached set onto the drifted platform instead of flushing it
+// (DESIGN.md §12).
 type Session struct {
 	g *Grid
+	// fp is the platform's cost fingerprint (topology.Grid.Fingerprint); it
+	// prefixes every cache key, so plans cached against one platform can
+	// never serve another. Digesting a full wide-area matrix is O(n²), so
+	// it is computed on first use — sessions that never touch the cache or
+	// Fingerprint (the default construction) never pay for it.
+	fpOnce sync.Once
+	fp     uint64
+	// gen is the cache generation; InvalidateCache bumps it, which changes
+	// every key and lets the stale entries age out through the LRU bound.
+	gen atomic.Uint64
+	// cache is the plan memo (nil for default sessions — caching is opt-in
+	// and the zero-option NewSession behaves exactly as before).
+	cache    *plancache.Cache
+	cacheCap int
 }
 
-// NewSession validates the platform and wraps it in a Session.
-func NewSession(g *Grid) (*Session, error) {
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// DefaultPlanCacheCapacity is the plan-cache bound WithPlanCache applies
+// when given a non-positive capacity.
+const DefaultPlanCacheCapacity = 1024
+
+// WithPlanCache enables the session's plan cache, bounded to capacity
+// resident plans (<= 0 selects DefaultPlanCacheCapacity). Plan and
+// PlanBatch then memoize by a canonical key — the platform fingerprint and
+// generation plus the full normalized request option set — so a repeated
+// request returns the cached plan, and concurrent misses on one key
+// collapse into a single build whose result every caller shares.
+//
+// Cached plans are shared and immutable: callers must not mutate a *Plan
+// returned by a caching session (Refine already copies on write). Request
+// shapes that cannot affect the schedule bytes — WithScanWorkers (the
+// schedule is bit-identical at any worker count), WithReplan, WithContext —
+// are normalized out of the key, so they hit the same entry.
+func WithPlanCache(capacity int) SessionOption {
+	return func(s *Session) {
+		if capacity <= 0 {
+			capacity = DefaultPlanCacheCapacity
+		}
+		s.cacheCap = capacity
+	}
+}
+
+// NewSession validates the platform and wraps it in a Session. Options are
+// applied in order; NewSession(g) without options is byte-compatible with
+// the pre-option API (no cache, identical planning behavior).
+func NewSession(g *Grid, opts ...SessionOption) (*Session, error) {
 	if g == nil {
 		return nil, errors.New("gridbcast: nil grid")
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	return &Session{g: g}, nil
+	s := &Session{g: g}
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+	if s.cacheCap > 0 {
+		s.cache = plancache.New(s.cacheCap)
+	}
+	return s, nil
 }
 
 // Grid returns the session's platform.
 func (s *Session) Grid() *Grid { return s.g }
+
+// Fingerprint returns the session platform's cost fingerprint: a stable
+// 64-bit digest of every cost-bearing parameter (see
+// topology.Grid.Fingerprint). Two sessions share a fingerprint exactly when
+// they would plan identically; it prefixes every plan-cache key.
+func (s *Session) Fingerprint() uint64 {
+	s.fpOnce.Do(func() { s.fp = s.g.Fingerprint() })
+	return s.fp
+}
+
+// CacheStats is a point-in-time snapshot of a session's plan-cache
+// counters. Hits counts lookups served from a resident plan, Misses
+// lookups that built one, Collapsed lookups that waited on a concurrent
+// build of the same key instead of building again, Evicted plans dropped
+// by the LRU capacity bound, and Migrated plans carried across a Replan
+// drift by trace replay rather than rebuilt.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Collapsed uint64
+	Evicted   uint64
+	Migrated  uint64
+}
+
+// CacheStats returns the plan cache's counters (zero for sessions without
+// a cache).
+func (s *Session) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats(s.cache.Stats())
+}
+
+// InvalidateCache retires every cached plan by bumping the key generation:
+// subsequent lookups miss and rebuild, and the stale entries age out
+// through the LRU bound. Safe for concurrent use; a no-op without a cache.
+func (s *Session) InvalidateCache() { s.gen.Add(1) }
 
 // Request describes one broadcast planning problem. The zero value asks for
 // best-of-paper heuristic selection from root 0 but carries no message
@@ -99,6 +198,7 @@ type Request struct {
 	refineSet   bool
 	overlap     bool
 	replan      bool
+	nocache     bool
 	net         NetConfig
 	netSet      bool
 	ctx         context.Context
@@ -195,6 +295,11 @@ func WithOverlap(on bool) Option { return func(r *Request) { r.overlap = on } }
 // request shape plans normally and Replan falls back to a full rebuild.
 // The planned schedule is bit-identical with or without this option.
 func WithReplan() Option { return func(r *Request) { r.replan = true } }
+
+// WithNoCache bypasses the session's plan cache for this request: the plan
+// is built fresh, is not inserted into the cache, and is exclusively the
+// caller's (safe to mutate). A no-op on sessions without a cache.
+func WithNoCache() Option { return func(r *Request) { r.nocache = true } }
 
 // Candidate records one heuristic tried during best-of selection.
 type Candidate struct {
@@ -305,7 +410,92 @@ func (s *Session) validateRootSize(root int, size int64) error {
 
 // Plan builds the schedule the request describes and returns it with its
 // predicted timing. Safe for concurrent use.
+//
+// On a session with WithPlanCache, Plan first consults the cache: a hit
+// returns the resident immutable *Plan (its Stats report the original
+// build), a miss builds and caches it, and concurrent misses on the same
+// key collapse into one build. Cache-resident builds additionally record
+// the construction replay trace whenever the request shape supports it (a
+// pinned ECEF-family heuristic, unsegmented, unrefined, sequential
+// engine) — the schedule is bit-identical either way, and the trace lets
+// Session.Replan migrate the entry across a platform drift. The build
+// itself runs detached from the request's context (it is shared by every
+// collapsed waiter); the context is still checked on entry.
 func (s *Session) Plan(req Request) (*Plan, error) {
+	if s.cache == nil || req.nocache {
+		return s.planUncached(req)
+	}
+	if err := s.validate(req); err != nil {
+		return nil, err
+	}
+	if req.ctx != nil {
+		if err := req.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	v, err := s.cache.Do(s.requestKey(req), func() (any, error) {
+		breq := req
+		breq.ctx = nil
+		if breq.heuristic != nil && !breq.segmented && !breq.pipelined &&
+			!breq.refineSet && !(breq.scanSet && breq.scanWorkers != 1) {
+			// Record the replay trace so Replan can migrate this entry.
+			breq.replan = true
+		}
+		pl, err := s.planUncached(breq)
+		if err != nil {
+			return nil, err
+		}
+		return pl, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Plan), nil
+}
+
+// requestKey folds the platform fingerprint, the cache generation and the
+// full normalized request option set into the canonical cache key.
+// Parameters that cannot change the schedule bytes are left out: the
+// context, the scan-worker count (schedules are bit-identical at any
+// count), WithReplan (traces are recorded on every eligible cached build)
+// and WithNoCache (bypasses keying entirely). Floats print as %x, so
+// values differing below decimal printing precision key differently.
+// Heuristics key by display name — the exported typed heuristics all carry
+// distinct names; custom sched.Heuristic implementations sharing a name
+// would collide and should plan WithNoCache.
+func (s *Session) requestKey(req Request) string {
+	hname := ""
+	if req.heuristic != nil {
+		hname = req.heuristic.Name()
+	}
+	mode := "flat"
+	switch {
+	case req.pipelined:
+		mode = "pipe"
+	case req.segmented:
+		mode = fmt.Sprintf("seg:%d", req.segSize)
+	}
+	refine := "-"
+	if req.refineSet {
+		refine = fmt.Sprintf("r%d", req.refine)
+	}
+	net := "-"
+	if req.netSet {
+		faults := "-"
+		if req.net.Faults != nil {
+			faults = fmt.Sprintf("%+v", *req.net.Faults)
+		}
+		net = fmt.Sprintf("j%x:s%d:o%x:f%s",
+			req.net.Jitter, req.net.Seed, req.net.SoftwareOverhead, faults)
+	}
+	return fmt.Sprintf("%x|g%d|h%s|r%d|z%d|%s|sl%t|ov%t|%s|%s",
+		s.Fingerprint(), s.gen.Load(), hname, req.root, req.size, mode,
+		req.segLocal, req.overlap, refine, net)
+}
+
+// planUncached is the build path: it constructs the schedule from scratch,
+// bypassing and never touching the plan cache.
+func (s *Session) planUncached(req Request) (*Plan, error) {
 	start := time.Now()
 	ctx := req.ctx
 	if ctx == nil {
@@ -442,6 +632,12 @@ func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristi
 // written exactly once, the ordered-fold determinism pattern of the
 // Monte-Carlo sweeps (PR 3). Failed requests leave a nil slot; the returned
 // error joins the per-request errors (nil when all requests planned).
+//
+// Each slot routes through Plan, so on a caching session a batch holding
+// duplicate requests collapses them to a single build — whichever slot
+// reaches the key first builds, the rest hit or wait on it — without
+// changing any slot's content at any GOMAXPROCS (cached plans are byte-
+// identical to fresh builds, timing statistics aside).
 func (s *Session) PlanBatch(reqs []Request) ([]*Plan, error) {
 	plans := make([]*Plan, len(reqs))
 	errs := make([]error, len(reqs))
@@ -539,13 +735,23 @@ func (s *Session) ExecuteBinomialContext(ctx context.Context, root int, size int
 // Replan absorbs a measured single-cluster platform drift into an existing
 // plan: the drifted platform reuses the session's edge-cost caches outside
 // the changed row/column (topology.PatchCosts), and plans that recorded a
-// construction trace (WithReplan) replay it in O(affected receivers)
-// instead of rebuilding (sched.ReplanSchedule); everything else re-plans
-// the stored request from scratch on the drifted platform. Either way the
-// returned plan is byte-identical (timing statistics aside) to what
-// Session.Plan on a freshly drifted platform would build — drift absorption
-// never changes the answer, only its cost. Returns the drifted session
-// alongside the plan; the input session and plan are unchanged.
+// construction trace (WithReplan, or any eligible cache-resident build)
+// replay it in O(affected receivers) instead of rebuilding
+// (sched.Replanner); everything else re-plans the stored request from
+// scratch on the drifted platform. Either way the returned plan is
+// byte-identical (timing statistics aside) to what Session.Plan on a
+// freshly drifted platform would build — drift absorption never changes
+// the answer, only its cost. Returns the drifted session alongside the
+// plan; the input session and plan are unchanged.
+//
+// On a session with a plan cache, Replan additionally migrates the cached
+// set instead of flushing it: every resident traced plan is replayed onto
+// the drifted platform through one shared replanner — the platform clone
+// and cost patch are paid once and amortized across all entries — and
+// re-keyed under the drifted fingerprint in the returned session's cache,
+// preserving recency order and counting in CacheStats.Migrated. Migrated
+// plans carry no trace of their own (the replay produces none), so a
+// second drift re-plans them; untraced entries are dropped.
 //
 // The plan must have been produced by this session's Plan (hand-built
 // literals and Session.Refine outputs carry no request to re-plan).
@@ -563,31 +769,42 @@ func (s *Session) Replan(old *Plan, d PlatformDelta) (*Session, *Plan, error) {
 	// ApplyDelta preserves platform validity (positive scales on validated
 	// parameters), so the drifted session skips NewSession's re-validation.
 	topology.PatchCosts(s.g, ng, d.Cluster)
-	ns := &Session{g: ng}
-	req := old.req
-	if old.trace != nil && old.Schedule != nil {
-		start := time.Now()
-		if p, err := sched.NewProblem(ng, req.root, req.size, sched.Options{Overlap: req.overlap}); err == nil {
-			if sc := sched.ReplanSchedule(p, old.Schedule, old.trace, d.Cluster); sc != nil {
-				pl := &Plan{
-					Heuristic: sc.Heuristic,
-					Root:      req.root, Size: req.size,
-					Schedule: sc, K: 1,
-					Makespan: sc.Makespan,
-					Overlap:  req.overlap,
-					net:      req.net, netSet: req.netSet,
-					owner: ns, req: req,
-					// The replay produces no trace of its own; a further
-					// Replan on this plan re-plans the stored request (and,
-					// with WithReplan still in it, records a fresh trace).
-				}
-				pl.Stats = BuildStats{Duration: time.Since(start), Schedules: 1}
-				return ns, pl, nil
+	ns := &Session{g: ng, cacheCap: s.cacheCap}
+	rpl := sched.NewReplanner()
+	if s.cache != nil {
+		ns.cache = plancache.New(ns.cacheCap)
+		// Snapshot the resident plans most-recent first, then migrate from
+		// the LRU end up so re-adding preserves the recency order. The
+		// snapshot is taken before any replay because Range holds the cache
+		// lock.
+		var resident []*Plan
+		s.cache.Range(func(_ string, v any) bool {
+			resident = append(resident, v.(*Plan))
+			return true
+		})
+		for i := len(resident) - 1; i >= 0; i-- {
+			if mpl := ns.migratePlan(resident[i], d.Cluster, rpl); mpl != nil {
+				ns.cache.Add(ns.requestKey(mpl.req), mpl, true)
 			}
 		}
-		// An inapplicable trace (or problem construction error) falls
-		// through to the full re-plan, which surfaces any real error.
 	}
+	req := old.req
+	if ns.cache != nil && !req.nocache {
+		// The migration loop above already carried a cache-resident old
+		// plan across; serve that copy instead of replaying twice.
+		if v, ok := ns.cache.Get(ns.requestKey(req)); ok {
+			return ns, v.(*Plan), nil
+		}
+	}
+	if mpl := ns.migratePlan(old, d.Cluster, rpl); mpl != nil {
+		if ns.cache != nil && !req.nocache {
+			ns.cache.Add(ns.requestKey(req), mpl, true)
+		}
+		return ns, mpl, nil
+	}
+	// No applicable trace (or problem construction error): full re-plan,
+	// which surfaces any real error — and, on a caching session, seeds the
+	// migrated cache with the fresh build.
 	pl, err := ns.Plan(req)
 	if err != nil {
 		return nil, nil, err
@@ -595,12 +812,48 @@ func (s *Session) Replan(old *Plan, d PlatformDelta) (*Session, *Plan, error) {
 	return ns, pl, nil
 }
 
+// migratePlan replays one traced plan onto this (drifted) session's
+// platform through the shared replanner, returning a fresh immutable plan
+// owned by this session, or nil when the plan carries no applicable trace
+// (the caller then re-plans or drops the entry). The replayed schedule is
+// bit-identical to a from-scratch build on the drifted platform.
+func (ns *Session) migratePlan(old *Plan, changed int, rpl *sched.Replanner) *Plan {
+	if old.trace == nil || old.Schedule == nil {
+		return nil
+	}
+	start := time.Now()
+	req := old.req
+	p, err := sched.NewProblem(ns.g, req.root, req.size, sched.Options{Overlap: req.overlap})
+	if err != nil {
+		return nil
+	}
+	sc := rpl.Replan(p, old.Schedule, old.trace, changed)
+	if sc == nil {
+		return nil
+	}
+	return &Plan{
+		Heuristic: sc.Heuristic,
+		Root:      req.root, Size: req.size,
+		Schedule: sc, K: 1,
+		Makespan: sc.Makespan,
+		Overlap:  req.overlap,
+		net:      req.net, netSet: req.netSet,
+		owner: ns, req: req,
+		// The replay produces no trace of its own; a further Replan on this
+		// plan re-plans the stored request (and, with an eligible shape,
+		// records a fresh trace).
+		Stats: BuildStats{Duration: time.Since(start), Schedules: 1},
+	}
+}
+
 // Refine improves an unsegmented plan's schedule by local search, sweeping
 // at most budget rounds (budget <= 0 sweeps until a local optimum), and
 // returns a new Plan holding the refined schedule; the input plan is not
-// modified. Refinement re-times candidates under the plan's own completion
-// model (WithOverlap carries through), so the result is never worse than
-// the input. ctx cancels between sweeps.
+// modified — copy-on-write, so refining a cache-resident plan leaves the
+// cached entry (schedule, trace, ownership) untouched for later hits.
+// Refinement re-times candidates under the plan's own completion model
+// (WithOverlap carries through), so the result is never worse than the
+// input. ctx cancels between sweeps.
 func (s *Session) Refine(ctx context.Context, plan *Plan, budget int) (*Plan, error) {
 	if ctx == nil {
 		ctx = context.Background()
