@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunConfigErrors pins the daemon's fail-fast paths: they must all
+// return descriptive errors before any listener is opened.
+func TestRunConfigErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		contains string
+	}{
+		{"no-platforms", nil, "no platforms configured"},
+		{"bad-spec", []string{"-platform", "nameonly"}, "want name=source"},
+		{"unloadable", []string{"-platform", "x=missing.json"}, "missing.json"},
+		{"bad-random", []string{"-platform", "x=random:1"}, "random:<seed>:<clusters>"},
+		{"bad-flag", []string{"-nope"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if err == nil || !strings.Contains(err.Error(), c.contains) {
+				t.Fatalf("run(%v) = %v, want error containing %q", c.args, err, c.contains)
+			}
+		})
+	}
+}

@@ -5,13 +5,26 @@
 //
 // Usage:
 //
-//	plogpfit [-grid file.json] [-rounds 10] [-jitter 0.02] [-size 1048576]
+//	plogpfit [-grid file.json|file.fits] [-rounds 10] [-jitter 0.02]
+//	         [-size 1048576] [-fits out.fits]
+//
+// With -fits the measured platform — the input's clusters with every
+// wide-area link replaced by its benchmarked reconstruction — is written
+// in the fit-file format (topology.ParseFits), which the gridbcastd
+// platform registry loads directly. The input platform may itself be a
+// .fits file, so measured parameter sets can be re-benchmarked.
+//
+// All errors are routed through one wrapped path that names the offending
+// file (and, for malformed platform or fit files, the line), so a bad
+// measurement input is diagnosable from the message alone.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"gridbcast/internal/measure"
 	"gridbcast/internal/topology"
@@ -19,28 +32,50 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "plogpfit:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole tool behind a testable seam: flag parsing, platform
+// loading, measurement, and output. Every failure returns through one
+// error path; nothing below main calls os.Exit.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("plogpfit", flag.ContinueOnError)
 	var (
-		gridPath = flag.String("grid", "", "platform JSON (default: built-in GRID5000)")
-		rounds   = flag.Int("rounds", 10, "messages per measurement run")
-		jitter   = flag.Float64("jitter", 0, "network jitter during measurement (e.g. 0.02)")
-		size     = flag.Int64("size", 1<<20, "message size at which to report g(m)")
+		gridPath = fs.String("grid", "", "platform file, JSON or .fits (default: built-in GRID5000)")
+		rounds   = fs.Int("rounds", 10, "messages per measurement run")
+		jitter   = fs.Float64("jitter", 0, "network jitter during measurement (e.g. 0.02)")
+		size     = fs.Int64("size", 1<<20, "message size at which to report g(m)")
+		fitsOut  = fs.String("fits", "", "write the measured platform as a fit file (\"-\" for stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	g := topology.Grid5000()
 	if *gridPath != "" {
 		var err error
-		g, err = topology.LoadFile(*gridPath)
+		g, err = loadPlatform(*gridPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+	}
+	if *rounds < 1 {
+		return fmt.Errorf("-rounds %d: need at least one message per run", *rounds)
 	}
 
 	cfg := measure.Config{
 		Rounds: *rounds,
 		Net:    vnet.Config{Jitter: *jitter, Seed: 1},
 	}
-	fmt.Printf("%-4s %-4s %14s %14s %14s %14s\n",
+	fitted, err := measure.Matrix(g.Inter, cfg)
+	if err != nil {
+		return fmt.Errorf("measuring %s: %w", platformName(*gridPath), err)
+	}
+
+	fmt.Fprintf(stdout, "%-4s %-4s %14s %14s %14s %14s\n",
 		"from", "to", "true L (µs)", "fit L (µs)", "true g (ms)", "fit g (ms)")
 	for i := 0; i < g.N(); i++ {
 		for j := 0; j < g.N(); j++ {
@@ -48,17 +83,57 @@ func main() {
 				continue
 			}
 			truth := g.Inter[i][j]
-			fit, err := measure.Link(truth, cfg)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%-4d %-4d %14.2f %14.2f %14.3f %14.3f\n",
+			fit := fitted[i][j]
+			fmt.Fprintf(stdout, "%-4d %-4d %14.2f %14.2f %14.3f %14.3f\n",
 				i, j, truth.L*1e6, fit.L*1e6, truth.Gap(*size)*1e3, fit.Gap(*size)*1e3)
 		}
 	}
+
+	if *fitsOut != "" {
+		mg := g.Clone()
+		mg.Inter = fitted
+		if err := writeFits(*fitsOut, mg, stdout); err != nil {
+			return fmt.Errorf("writing fits %s: %w", *fitsOut, err)
+		}
+	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "plogpfit:", err)
-	os.Exit(1)
+// loadPlatform reads a platform description, dispatching on the extension:
+// .fits files use the fit-file parser, everything else the JSON schema.
+// Errors from both parsers name the file and line of the offending input.
+func loadPlatform(path string) (*topology.Grid, error) {
+	var g *topology.Grid
+	var err error
+	if strings.HasSuffix(path, ".fits") {
+		g, err = topology.LoadFits(path)
+	} else {
+		g, err = topology.LoadFile(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load platform: %w", err)
+	}
+	return g, nil
+}
+
+func platformName(path string) string {
+	if path == "" {
+		return "GRID5000"
+	}
+	return path
+}
+
+func writeFits(path string, g *topology.Grid, stdout io.Writer) error {
+	if path == "-" {
+		return topology.WriteFits(stdout, g)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := topology.WriteFits(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridbcast/internal/topology"
+)
+
+// TestRunMalformedInput pins the satellite bugfix of PR 8: malformed
+// measurement input no longer dies through a bare os.Exit with a context-
+// free message — run returns an error naming the offending file (and line
+// for parse errors).
+func TestRunMalformedInput(t *testing.T) {
+	dir := t.TempDir()
+
+	badJSON := filepath.Join(dir, "bad.json")
+	os.WriteFile(badJSON, []byte("{\n  \"clusters\": [,]\n}"), 0o644)
+	badFits := filepath.Join(dir, "bad.fits")
+	os.WriteFile(badFits, []byte("fits v1\ncluster 0 \"a\" nope 0.5\n"), 0o644)
+	missing := filepath.Join(dir, "nope.json")
+
+	cases := []struct {
+		name string
+		args []string
+		want []string // all must appear in the error text
+	}{
+		{"bad-json", []string{"-grid", badJSON}, []string{badJSON, "line 2"}},
+		{"bad-fits", []string{"-grid", badFits}, []string{badFits + ":2", "bad node count"}},
+		{"missing-file", []string{"-grid", missing}, []string{missing}},
+		{"bad-rounds", []string{"-rounds", "0"}, []string{"-rounds 0"}},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("%s: run succeeded, want error", tc.name)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not name %q", tc.name, err, want)
+			}
+		}
+	}
+}
+
+// TestRunEmitsLoadableFits checks the measurement pipeline end to end: a
+// run over a small platform emits a fit file the registry-facing loader
+// accepts, with the measured (not the true) parameters inside.
+func TestRunEmitsLoadableFits(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "grid.json")
+	if err := topology.Grid5000().SaveFile(src); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "measured.fits")
+	var table bytes.Buffer
+	if err := run([]string{"-grid", src, "-rounds", "2", "-fits", out}, &table); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(table.String(), "fit L") {
+		t.Fatalf("missing measurement table:\n%s", table.String())
+	}
+	g, err := loadPlatform(out)
+	if err != nil {
+		t.Fatalf("emitted fits do not load: %v", err)
+	}
+	if g.N() != topology.Grid5000().N() {
+		t.Fatalf("measured platform has %d clusters, want %d", g.N(), topology.Grid5000().N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("measured platform invalid: %v", err)
+	}
+	// Ideal network → reconstruction is exact at the probed sizes, so the
+	// measured gap at 1 MB must match the truth closely.
+	truth := topology.Grid5000()
+	if got, want := g.Gap(0, 1, 1<<20), truth.Gap(0, 1, 1<<20); got < want*0.99 || got > want*1.01 {
+		t.Errorf("measured gap %g, want about %g", got, want)
+	}
+}

@@ -1,0 +1,96 @@
+package gridbcast_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	gridbcast "gridbcast"
+)
+
+// TestHeuristicsDefensiveCopy pins the satellite bugfix of PR 8: the
+// slices returned by Heuristics and HeuristicNames are the caller's own —
+// mutating them (in place or through append into spare capacity) must not
+// leak into later calls or into the registry ParseHeuristic matches
+// against.
+func TestHeuristicsDefensiveCopy(t *testing.T) {
+	orig := gridbcast.Heuristics()
+	want := make([]string, len(orig))
+	for i, h := range orig {
+		want[i] = h.Name()
+	}
+
+	// Clobber every element and append into any spare capacity.
+	hs := gridbcast.Heuristics()
+	for i := range hs {
+		hs[i] = gridbcast.FlatTree
+	}
+	_ = append(hs, gridbcast.FlatTree, gridbcast.FlatTree)
+
+	got := gridbcast.Heuristics()
+	for i, h := range got {
+		if h.Name() != want[i] {
+			t.Fatalf("Heuristics()[%d] = %s after caller mutation, want %s", i, h.Name(), want[i])
+		}
+	}
+
+	names := gridbcast.HeuristicNames()
+	for i := range names {
+		names[i] = "clobbered"
+	}
+	_ = append(names, "extra")
+	if again := gridbcast.HeuristicNames(); reflect.DeepEqual(again, names) || again[0] == "clobbered" {
+		t.Fatalf("HeuristicNames leaked caller mutation: %v", again)
+	}
+
+	// The registry behind ParseHeuristic must also be unaffected.
+	for _, name := range want {
+		if _, err := gridbcast.ParseHeuristic(name); err != nil {
+			t.Fatalf("ParseHeuristic(%q) after mutation: %v", name, err)
+		}
+	}
+}
+
+// TestParseHeuristicCanonicalization pins the trim/case-insensitive
+// matching contract, including the ECEF-LAt/ECEF-LAT case-only collision.
+func TestParseHeuristicCanonicalization(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // resolved display name; "" means an error is expected
+	}{
+		{"ECEF-LAT", "ECEF-LAT"},  // exact
+		{"ECEF-LAt", "ECEF-LAt"},  // exact, case-only sibling
+		{"ecef-lat ", "ECEF-LAt"}, // folded: first legend-order match
+		{" ecef-laT", "ECEF-LAt"}, // ditto — only exact spelling pins -LAT
+		{"Mixed", "Mixed"},        // exact
+		{"mixed", "Mixed"},        // folded
+		{"  MIXED  ", "Mixed"},    // trimmed + folded
+		{"flattree", "FlatTree"},  // folded
+		{"fef", "FEF"},            // folded
+		{"FEF-GAP+LAT", "FEF-gap+lat"},
+		{"bottomup\t", "BottomUp"}, // trailing tab
+		{"", ""},                   // empty
+		{"   ", ""},                // whitespace only
+		{"ECEF LAT", ""},           // inner whitespace is not canonicalized
+		{"nope", ""},
+	}
+	for _, tc := range cases {
+		h, err := gridbcast.ParseHeuristic(tc.in)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("ParseHeuristic(%q) = %s, want error", tc.in, h.Name())
+			} else if !strings.Contains(err.Error(), "ECEF-LAT") {
+				// The error lists the exact names so clients can self-correct.
+				t.Errorf("ParseHeuristic(%q) error %q does not list exact names", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseHeuristic(%q): %v", tc.in, err)
+			continue
+		}
+		if h.Name() != tc.want {
+			t.Errorf("ParseHeuristic(%q) = %s, want %s", tc.in, h.Name(), tc.want)
+		}
+	}
+}

@@ -75,6 +75,31 @@ func New(capacity int) *Cache {
 	}
 }
 
+// Outcome reports how a Do lookup was satisfied.
+type Outcome uint8
+
+const (
+	// Miss: the lookup ran build and (on success) inserted the result.
+	Miss Outcome = iota
+	// Hit: the lookup was served from a resident completed entry.
+	Hit
+	// Collapsed: the lookup waited on a concurrent build of the same key
+	// and shares its result.
+	Collapsed
+)
+
+// String names the outcome for metrics labels.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Collapsed:
+		return "collapsed"
+	default:
+		return "miss"
+	}
+}
+
 // Do returns the cached value for key, building it at most once per
 // residency: a hit returns the stored value, a miss runs build, and
 // lookups that arrive during the build block until it completes and share
@@ -83,6 +108,13 @@ func New(capacity int) *Cache {
 // the next lookup retries. If build panics, the panic propagates to the
 // builder, waiters receive ErrBuildPanic, and the key is cleared.
 func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
+	v, _, err := c.DoInfo(key, build)
+	return v, err
+}
+
+// DoInfo is Do, additionally reporting how the lookup was satisfied — the
+// seam the serving layer's hit/miss latency histograms hang off.
+func (c *Cache) DoInfo(key string, build func() (any, error)) (any, Outcome, error) {
 	c.mu.Lock()
 	if e, ok := c.ents[key]; ok {
 		if e.el != nil {
@@ -90,12 +122,12 @@ func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
 			c.ll.MoveToFront(e.el)
 			v := e.val
 			c.mu.Unlock()
-			return v, nil
+			return v, Hit, nil
 		}
 		c.stats.Collapsed++
 		c.mu.Unlock()
 		<-e.done
-		return e.val, e.err
+		return e.val, Collapsed, e.err
 	}
 	e := &entry{key: key, done: make(chan struct{})}
 	c.ents[key] = e
@@ -124,12 +156,12 @@ func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
 	if err != nil {
 		delete(c.ents, key)
 		c.mu.Unlock()
-		return v, err
+		return v, Miss, err
 	}
 	e.el = c.ll.PushFront(e)
 	c.evictLocked()
 	c.mu.Unlock()
-	return v, nil
+	return v, Miss, nil
 }
 
 // Get returns the completed value for key without building, refreshing its

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of every latency histogram. Bucket
+// i covers (bucketBase·2^(i-1), bucketBase·2^i] — geometric buckets from
+// 100 ns (cache hits serve in well under a microsecond) up to ~3.8 h in
+// bucket 36, so no planning latency this system can produce saturates the
+// top bucket in practice.
+const (
+	histBuckets = 38
+	bucketBase  = 100 * time.Nanosecond
+)
+
+// Histogram is a fixed-bucket, lock-free latency histogram. All fields are
+// updated atomically; Snapshot is a consistent-enough read for metrics
+// (individual counters may be skewed by in-flight observations, never
+// torn).
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// bucketOf maps a latency to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= bucketBase {
+		return 0
+	}
+	// ceil(log2(d/base)) via the bit length of the ratio.
+	ratio := uint64((d + bucketBase - 1) / bucketBase)
+	idx := bits.Len64(ratio - 1)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns bucket i's inclusive upper bound.
+func bucketUpper(i int) time.Duration { return bucketBase << uint(i) }
+
+// HistogramSnapshot is the exported point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// Snapshot computes count, mean and the p50/p99 estimates. Quantiles are
+// read from the geometric buckets (upper bound of the covering bucket), so
+// they are exact to within one bucket width — a 2× resolution, plenty for
+// watching a serving latency distribution move.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanUS = float64(h.sumNs.Load()) / float64(s.Count) / 1e3
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50US = quantileUS(counts[:], total, 0.50)
+	s.P99US = quantileUS(counts[:], total, 0.99)
+	return s
+}
+
+func quantileUS(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return float64(bucketUpper(i)) / 1e3
+		}
+	}
+	return float64(bucketUpper(histBuckets-1)) / 1e3
+}
+
+// seriesKey labels one latency series.
+type seriesKey struct {
+	platform  string
+	heuristic string // requested heuristic name, or "best" for best-of selection
+	outcome   string // "built" | "hit" | "collapsed"
+}
+
+// Counters are the service-wide request counters, one per terminal status
+// class. All atomic.
+type Counters struct {
+	Total      atomic.Uint64
+	OK         atomic.Uint64
+	BadRequest atomic.Uint64
+	NotFound   atomic.Uint64
+	Saturated  atomic.Uint64
+	Canceled   atomic.Uint64
+	Deadline   atomic.Uint64
+}
+
+// CountersSnapshot is the exported view of Counters.
+type CountersSnapshot struct {
+	Total      uint64 `json:"total"`
+	OK         uint64 `json:"ok"`
+	BadRequest uint64 `json:"bad_request"`
+	NotFound   uint64 `json:"not_found"`
+	Saturated  uint64 `json:"saturated"`
+	Canceled   uint64 `json:"canceled"`
+	Deadline   uint64 `json:"deadline_exceeded"`
+}
+
+// Metrics is the daemon's observability state: request counters plus one
+// latency histogram per (platform, heuristic, outcome) series. Series are
+// created on first observation; the map is guarded by a RWMutex while the
+// histograms themselves are lock-free, so the steady-state Observe path is
+// a read-lock and three atomic adds.
+type Metrics struct {
+	start    time.Time
+	counters Counters
+
+	mu     sync.RWMutex
+	series map[seriesKey]*Histogram
+}
+
+// NewMetrics builds an empty metrics state.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), series: make(map[seriesKey]*Histogram)}
+}
+
+// Counters exposes the request counters for the transport to bump.
+func (m *Metrics) Counters() *Counters { return &m.counters }
+
+// Observe records one served plan latency under its series.
+func (m *Metrics) Observe(platform, heuristic, outcome string, d time.Duration) {
+	k := seriesKey{platform: platform, heuristic: heuristic, outcome: outcome}
+	m.mu.RLock()
+	h := m.series[k]
+	m.mu.RUnlock()
+	if h == nil {
+		m.mu.Lock()
+		if h = m.series[k]; h == nil {
+			h = &Histogram{}
+			m.series[k] = h
+		}
+		m.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// SeriesSnapshot is one exported latency series.
+type SeriesSnapshot struct {
+	Platform  string `json:"platform"`
+	Heuristic string `json:"heuristic"`
+	Outcome   string `json:"outcome"`
+	HistogramSnapshot
+}
+
+// Snapshot exports every series, sorted by (platform, heuristic, outcome)
+// for stable output.
+func (m *Metrics) Snapshot() []SeriesSnapshot {
+	m.mu.RLock()
+	keys := make([]seriesKey, 0, len(m.series))
+	for k := range m.series {
+		keys = append(keys, k)
+	}
+	hists := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hists[i] = m.series[k]
+	}
+	m.mu.RUnlock()
+
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka.platform != kb.platform {
+			return ka.platform < kb.platform
+		}
+		if ka.heuristic != kb.heuristic {
+			return ka.heuristic < kb.heuristic
+		}
+		return ka.outcome < kb.outcome
+	})
+	out := make([]SeriesSnapshot, 0, len(order))
+	for _, i := range order {
+		out = append(out, SeriesSnapshot{
+			Platform:          keys[i].platform,
+			Heuristic:         keys[i].heuristic,
+			Outcome:           keys[i].outcome,
+			HistogramSnapshot: hists[i].Snapshot(),
+		})
+	}
+	return out
+}
+
+// Uptime reports the time since NewMetrics.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// CountersSnapshot exports the request counters.
+func (m *Metrics) CountersSnapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Total:      m.counters.Total.Load(),
+		OK:         m.counters.OK.Load(),
+		BadRequest: m.counters.BadRequest.Load(),
+		NotFound:   m.counters.NotFound.Load(),
+		Saturated:  m.counters.Saturated.Load(),
+		Canceled:   m.counters.Canceled.Load(),
+		Deadline:   m.counters.Deadline.Load(),
+	}
+}

@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridbcast/internal/stats"
+)
+
+// TestFitsRoundTrip pins the cost-exactness contract: a written fit file
+// parses back to a grid with an identical Fingerprint (every cost-bearing
+// parameter round-trips bit-exactly through the text form).
+func TestFitsRoundTrip(t *testing.T) {
+	grids := map[string]*Grid{
+		"grid5000":  Grid5000(),
+		"random":    RandomGrid(stats.NewRand(7), 9),
+		"clustered": RandomClusteredGrid(stats.NewRand(3), 12),
+	}
+	for name, g := range grids {
+		var buf bytes.Buffer
+		if err := WriteFits(&buf, g); err != nil {
+			t.Fatalf("%s: WriteFits: %v", name, err)
+		}
+		back, err := ParseFits(bytes.NewReader(buf.Bytes()), name+".fits")
+		if err != nil {
+			t.Fatalf("%s: ParseFits: %v", name, err)
+		}
+		if got, want := back.Fingerprint(), g.Fingerprint(); got != want {
+			t.Errorf("%s: fingerprint %x after round trip, want %x", name, got, want)
+		}
+		if back.N() != g.N() || back.TotalNodes() != g.TotalNodes() {
+			t.Errorf("%s: shape changed: %d/%d clusters, %d/%d nodes",
+				name, back.N(), g.N(), back.TotalNodes(), g.TotalNodes())
+		}
+		for i, c := range back.Clusters {
+			if c.Name != g.Clusters[i].Name {
+				t.Errorf("%s: cluster %d name %q, want %q", name, i, c.Name, g.Clusters[i].Name)
+			}
+		}
+	}
+}
+
+// TestParseFitsErrors pins the file:line diagnostics of every malformed-
+// input class plogpfit and the platform registry can encounter.
+func TestParseFitsErrors(t *testing.T) {
+	const header = "fits v1\n"
+	ok2 := header +
+		"cluster 0 \"a\" 4 0.5\n" +
+		"cluster 1 \"b\" 8 0.25\n" +
+		"link 0 1 0.01 0:0.1 1048576:0.2\n" +
+		"link 1 0 0.01 0:0.1\n"
+	if _, err := ParseFits(strings.NewReader(ok2), "ok.fits"); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", `ok.fits:1: empty input`},
+		{"no-header", "cluster 0 \"a\" 4 0.5\n", "ok.fits:1: not a fit file"},
+		{"bad-record", header + "frobnicate 1 2\n", "ok.fits:2: unknown record"},
+		{"short-cluster", header + "cluster 0 \"a\"\n", "ok.fits:2: cluster record needs 4 fields"},
+		{"bad-nodes", header + "cluster 0 \"a\" zero 0.5\n", "ok.fits:2: bad node count"},
+		{"bad-bcast", header + "cluster 0 \"a\" 4 -1\n", "ok.fits:2: bad bcast time"},
+		{"dup-cluster", header + "cluster 0 \"a\" 4 0.5\ncluster 0 \"b\" 4 0.5\n", "ok.fits:3: duplicate cluster 0"},
+		{"orphan-intra", header + "intra 3 0.1 0:0.2\n", "ok.fits:2: intra record for cluster 3 before its cluster record"},
+		{"self-loop", ok2 + "link 1 1 0.1 0:0.1\n", "ok.fits:6: link 1->1 is a self-loop"},
+		{"dup-link", ok2 + "link 0 1 0.1 0:0.1\n", "ok.fits:6: duplicate link 0->1"},
+		{"bad-point", header + "cluster 0 \"a\" 4 0.5\ncluster 1 \"b\" 4 0.5\nlink 0 1 0.01 1048576\n", "ok.fits:4: link 0->1: bad gap point"},
+		{"bad-latency", header + "cluster 0 \"a\" 4 0.5\ncluster 1 \"b\" 4 0.5\nlink 0 1 ten 0:0.1\n", "ok.fits:4: link 0->1: bad latency"},
+		{"missing-link", header + "cluster 0 \"a\" 4 0.5\ncluster 1 \"b\" 4 0.5\nlink 0 1 0.01 0:0.1\n", "missing link 1->0"},
+		{"sparse-index", header + "cluster 0 \"a\" 4 0.5\ncluster 2 \"c\" 4 0.5\nlink 0 2 0.01 0:0.1\nlink 2 0 0.01 0:0.1\n", "not dense"},
+		{"missing-intra", header + "cluster 0 \"a\" 4 0\ncluster 1 \"b\" 4 0.5\nlink 0 1 0.01 0:0.1\nlink 1 0 0.01 0:0.1\n", "no intra record"},
+	}
+	for _, tc := range cases {
+		_, err := ParseFits(strings.NewReader(tc.in), "ok.fits")
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}

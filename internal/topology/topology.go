@@ -181,10 +181,26 @@ func (g *Grid) WriteJSON(w io.Writer) error {
 	return enc.Encode(g)
 }
 
-// ReadJSON deserialises and validates a grid.
+// ReadJSON deserialises and validates a grid. Decode errors carry the
+// line:column of the offending byte, so a malformed platform file is
+// diagnosable from the message alone.
 func ReadJSON(r io.Reader) (*Grid, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("topology: read: %w", err)
+	}
 	var g Grid
-	if err := json.NewDecoder(r).Decode(&g); err != nil {
+	if err := json.Unmarshal(data, &g); err != nil {
+		var se *json.SyntaxError
+		var te *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &se):
+			line, col := lineCol(data, se.Offset)
+			return nil, fmt.Errorf("topology: decode: line %d column %d: %w", line, col, err)
+		case errors.As(err, &te):
+			line, col := lineCol(data, te.Offset)
+			return nil, fmt.Errorf("topology: decode: line %d column %d: %w", line, col, err)
+		}
 		return nil, fmt.Errorf("topology: decode: %w", err)
 	}
 	if err := g.Validate(); err != nil {
@@ -193,14 +209,35 @@ func ReadJSON(r io.Reader) (*Grid, error) {
 	return &g, nil
 }
 
-// LoadFile reads a grid from a JSON file.
+// lineCol converts a byte offset into 1-based line and column numbers.
+func lineCol(data []byte, offset int64) (line, col int) {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// LoadFile reads a grid from a JSON file; errors name the file.
 func LoadFile(path string) (*Grid, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadJSON(f)
+	g, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
 }
 
 // SaveFile writes a grid to a JSON file.

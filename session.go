@@ -422,18 +422,57 @@ func (s *Session) validateRootSize(root int, size int64) error {
 // itself runs detached from the request's context (it is shared by every
 // collapsed waiter); the context is still checked on entry.
 func (s *Session) Plan(req Request) (*Plan, error) {
+	pl, _, err := s.PlanInfo(req)
+	return pl, err
+}
+
+// PlanOutcome reports how PlanInfo satisfied a request.
+type PlanOutcome uint8
+
+const (
+	// PlanBuilt: the plan was constructed from scratch — a cache miss, or
+	// any request on a session without a cache (including WithNoCache).
+	PlanBuilt PlanOutcome = iota
+	// PlanHit: the plan was served from the session's plan cache.
+	PlanHit
+	// PlanCollapsed: the request arrived while another goroutine was
+	// building the same key and shares that build's result.
+	PlanCollapsed
+)
+
+// String names the outcome ("built", "hit", "collapsed") for metrics
+// labels.
+func (o PlanOutcome) String() string {
+	switch o {
+	case PlanHit:
+		return "hit"
+	case PlanCollapsed:
+		return "collapsed"
+	default:
+		return "built"
+	}
+}
+
+// PlanInfo is Plan, additionally reporting whether the plan was built,
+// served from the session's cache, or collapsed into a concurrent build of
+// the same key — the per-request signal serving layers need for hit/miss
+// latency accounting (Session.CacheStats only exposes cumulative
+// counters, which cannot be attributed to individual requests under
+// concurrency).
+func (s *Session) PlanInfo(req Request) (*Plan, PlanOutcome, error) {
 	if s.cache == nil || req.nocache {
-		return s.planUncached(req)
+		pl, err := s.planUncached(req)
+		return pl, PlanBuilt, err
 	}
 	if err := s.validate(req); err != nil {
-		return nil, err
+		return nil, PlanBuilt, err
 	}
 	if req.ctx != nil {
 		if err := req.ctx.Err(); err != nil {
-			return nil, err
+			return nil, PlanBuilt, err
 		}
 	}
-	v, err := s.cache.Do(s.requestKey(req), func() (any, error) {
+	v, oc, err := s.cache.DoInfo(s.requestKey(req), func() (any, error) {
 		breq := req
 		breq.ctx = nil
 		if breq.heuristic != nil && !breq.segmented && !breq.pipelined &&
@@ -447,10 +486,17 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 		}
 		return pl, nil
 	})
-	if err != nil {
-		return nil, err
+	outcome := PlanBuilt
+	switch oc {
+	case plancache.Hit:
+		outcome = PlanHit
+	case plancache.Collapsed:
+		outcome = PlanCollapsed
 	}
-	return v.(*Plan), nil
+	if err != nil {
+		return nil, outcome, err
+	}
+	return v.(*Plan), outcome, nil
 }
 
 // requestKey folds the platform fingerprint, the cache generation and the

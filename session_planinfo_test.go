@@ -1,0 +1,93 @@
+package gridbcast_test
+
+import (
+	"sync"
+	"testing"
+
+	gridbcast "gridbcast"
+)
+
+// TestPlanInfoOutcomes pins the per-request cache attribution PlanInfo
+// adds for the serving layer: built on a cold key (and always on cacheless
+// sessions), hit on a resident key, and the returned plan identical to
+// Plan's in every case.
+func TestPlanInfoOutcomes(t *testing.T) {
+	req := gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT), gridbcast.WithSize(1<<20))
+
+	plain, err := gridbcast.NewSession(gridbcast.Grid5000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, oc, err := plain.PlanInfo(req); err != nil || oc != gridbcast.PlanBuilt {
+		t.Fatalf("cacheless session: outcome %v err %v, want built/nil", oc, err)
+	}
+
+	cached, err := gridbcast.NewSession(gridbcast.Grid5000(), gridbcast.WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, oc, err := cached.PlanInfo(req)
+	if err != nil || oc != gridbcast.PlanBuilt {
+		t.Fatalf("cold key: outcome %v err %v, want built/nil", oc, err)
+	}
+	p2, oc, err := cached.PlanInfo(req)
+	if err != nil || oc != gridbcast.PlanHit {
+		t.Fatalf("warm key: outcome %v err %v, want hit/nil", oc, err)
+	}
+	if p1 != p2 {
+		t.Fatal("hit did not return the resident plan pointer")
+	}
+	if _, oc, _ := cached.PlanInfo(gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.ECEFLAT), gridbcast.WithSize(1<<20),
+		gridbcast.WithNoCache())); oc != gridbcast.PlanBuilt {
+		t.Fatalf("WithNoCache: outcome %v, want built", oc)
+	}
+
+	// Validation errors report as built (no cache interaction).
+	if _, oc, err := cached.PlanInfo(gridbcast.NewRequest(gridbcast.WithSize(-1))); err == nil || oc != gridbcast.PlanBuilt {
+		t.Fatalf("invalid request: outcome %v err %v, want built/error", oc, err)
+	}
+}
+
+// TestPlanInfoConcurrentOutcomes checks that under concurrent identical
+// requests every goroutine gets the same plan and outcomes partition into
+// exactly one build plus hits/collapses — no goroutine ever reports a
+// second build of the same key.
+func TestPlanInfoConcurrentOutcomes(t *testing.T) {
+	sess, err := gridbcast.NewSession(gridbcast.RandomGrid(11, 48), gridbcast.WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := gridbcast.NewRequest(
+		gridbcast.WithHeuristic(gridbcast.ECEFLA), gridbcast.WithSize(1<<20))
+	const workers = 16
+	var wg sync.WaitGroup
+	outcomes := make([]gridbcast.PlanOutcome, workers)
+	plans := make([]*gridbcast.Plan, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pl, oc, err := sess.PlanInfo(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[w], outcomes[w] = pl, oc
+		}(w)
+	}
+	wg.Wait()
+	built := 0
+	for w := 0; w < workers; w++ {
+		if plans[w] != plans[0] {
+			t.Fatalf("worker %d got a different plan pointer", w)
+		}
+		if outcomes[w] == gridbcast.PlanBuilt {
+			built++
+		}
+	}
+	if built != 1 {
+		t.Fatalf("%d workers reported building the key, want exactly 1", built)
+	}
+}
