@@ -9,6 +9,7 @@
 package gridbcast_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -574,12 +575,82 @@ func BenchmarkSessionPlan(b *testing.B) {
 	})
 }
 
+// BenchmarkWorkStealingBuild measures steady-state chunk-claiming on a
+// persistent pool: one ParallelBuilder reused across all builds of a
+// 512-cluster schedule, isolating the work-stealing round dispatch from
+// the per-call pool spawn BenchmarkParallelBuild pays. workers=1 is the
+// sequential engine baseline; the schedules are bit-identical throughout.
+func BenchmarkWorkStealingBuild(b *testing.B) {
+	p := sched.MustProblem(topology.RandomGrid(stats.NewRand(1), 512), 0, 1<<20, sched.Options{Overlap: true})
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pb := sched.NewParallelBuilder(w)
+			defer pb.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pb.Schedule(sched.ECEFLAT(), p)
+			}
+		})
+	}
+}
+
+// BenchmarkSegmentedParallelScan measures the segmented engine with its
+// per-round scans chunked across a scan pool (EnginePool.Scan — the path
+// behind WithScanWorkers on segmented and pipelined requests), 16 MB in
+// 128 KB segments on large random platforms. workers=1 detaches the pool.
+func BenchmarkSegmentedParallelScan(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		g := topology.RandomGrid(stats.NewRand(1), n)
+		sp := sched.MustSegmentedProblem(g, 0, 16<<20, 128<<10, sched.Options{Overlap: true})
+		for _, w := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				ep := sched.NewEnginePool()
+				if w > 1 {
+					pb := sched.NewParallelBuilder(w)
+					defer pb.Close()
+					ep.Scan = pb
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ep.ScheduleSegmented(sched.ECEFLAT(), sp)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPipelinedLadderParallel measures the full default segment-size
+// ladder at N=512 — the end-to-end target of the work-stealing port — with
+// the per-round scans of every rung sharded through one scan pool.
+// workers=1 is the sequential baseline the speedup target is measured
+// against (on multi-core hosts; a single-core host shows pool overhead
+// instead, see EXPERIMENTS.md).
+func BenchmarkPipelinedLadderParallel(b *testing.B) {
+	g := topology.RandomGrid(stats.NewRand(1), 512)
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ep := sched.NewEnginePool()
+			if w > 1 {
+				pb := sched.NewParallelBuilder(w)
+				defer pb.Close()
+				ep.Scan = pb
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (sched.Pipelined{}).BestContext(context.Background(), ep, g, 0, 16<<20, sched.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimKernel measures raw event throughput of the discrete-event
 // kernel (ping-pong between two processes).
 func BenchmarkSimKernel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := sim.New()
-		a2b, b2a := sim.NewChan(env), sim.NewChan(env)
+		a2b, b2a := sim.NewChan[int](env), sim.NewChan[int](env)
 		env.Process("a", func(p *sim.Proc) {
 			for k := 0; k < 1000; k++ {
 				a2b.SendAfter(0.001, k)

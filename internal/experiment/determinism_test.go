@@ -89,3 +89,33 @@ func TestParallelBuildByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
 		}
 	}
 }
+
+// TestSegmentedParallelByteIdenticalAcrossGOMAXPROCS extends the builder
+// contract to the segmented engine behind WithScanWorkers: with the scan
+// pool sized to GOMAXPROCS, the serialised pipelined schedules of every
+// paper heuristic are byte-identical at GOMAXPROCS ∈ {1, 2, 8} — the
+// work-stealing chunk claims must be unobservable in the result.
+func TestSegmentedParallelByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	g := topology.RandomGrid(stats.NewRand(21), 96)
+	var want []byte
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		pb := sched.NewParallelBuilder(0)
+		ep := sched.NewEnginePool()
+		ep.Scan = pb
+		var buf bytes.Buffer
+		for _, h := range sched.Paper() {
+			sp := sched.MustSegmentedProblem(g, 2, 4<<20, 256<<10, sched.Options{})
+			fmt.Fprintf(&buf, "%+v\n", ep.ScheduleSegmented(h, sp))
+		}
+		pb.Close()
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("segmented schedules diverge at GOMAXPROCS=%d", procs)
+		}
+	}
+}

@@ -138,6 +138,7 @@ type fefEngine struct {
 	cW    []float64 // cheapest incoming weight from A per receiver
 	cSnd  []int32   // sender attaining cW[j]
 	fresh []int32   // senders whose rows are not folded in yet
+	rem   []int32   // receivers still outside A, ascending (see recvCache.rem)
 }
 
 func newFEFEngine(h FEF, p *Problem) *fefEngine {
@@ -146,6 +147,7 @@ func newFEFEngine(h FEF, p *Problem) *fefEngine {
 		cW:    make([]float64, p.N),
 		cSnd:  make([]int32, p.N),
 		fresh: []int32{int32(p.Root)},
+		rem:   remInit(make([]int32, 0, p.N), p.N, p.Root),
 	}
 	for j := 0; j < p.N; j++ {
 		e.cW[j] = math.Inf(1)
@@ -163,10 +165,7 @@ func (e *fefEngine) pick(p *Problem, s *state) (int, int) {
 	}
 	for _, i := range e.fresh {
 		row := wm[i]
-		for j := 0; j < p.N; j++ {
-			if s.inA[j] {
-				continue
-			}
+		for _, j := range e.rem {
 			if w := row[j]; w < e.cW[j] || (w == e.cW[j] && i < e.cSnd[j]) {
 				e.cW[j], e.cSnd[j] = w, i
 			}
@@ -175,18 +174,16 @@ func (e *fefEngine) pick(p *Problem, s *state) (int, int) {
 	e.fresh = e.fresh[:0]
 	best := math.Inf(1)
 	bi, bj := -1, -1
-	for j := 0; j < p.N; j++ {
-		if s.inA[j] {
-			continue
-		}
+	for _, j := range e.rem {
 		// The naive scan resolves ties by (w, i, j): lowest sender first,
 		// then lowest receiver (the ascending-j scan with strict
 		// improvement).
 		if w, i := e.cW[j], int(e.cSnd[j]); w < best || (w == best && i < bi) {
-			best, bi, bj = w, i, j
+			best, bi, bj = w, i, int(j)
 		}
 	}
 	e.fresh = append(e.fresh, int32(bj))
+	e.rem = remDrop(e.rem, int32(bj))
 	return bi, bj
 }
 
@@ -286,8 +283,38 @@ type recvCache struct {
 	cKey       []float64 // cached minimal avail[i]+W[i][j] for receiver j
 	cSnd       []int32   // sender attaining cKey[j]
 	nq         []int32   // flat requeries spent per receiver
-	csync      int       // prefix of joined already compared against caches
-	lastI      int32     // sender of the previous round (-1 before round 0)
+	// rem is the SoA lane of receivers still outside A, ascending. Round
+	// scans walk it instead of testing inA per index: the loop touches only
+	// live receivers (contiguous, branch-light) and its ascending order is
+	// exactly the naive scan's ascending-j tie-break order.
+	rem   []int32
+	csync int   // prefix of joined already compared against caches
+	lastI int32 // sender of the previous round (-1 before round 0)
+}
+
+// remInit fills rem with every receiver but root, ascending.
+func remInit(rem []int32, n, root int) []int32 {
+	rem = rem[:0]
+	for j := 0; j < n; j++ {
+		if j != root {
+			rem = append(rem, int32(j))
+		}
+	}
+	return rem
+}
+
+// remDrop removes receiver j from a sorted remaining lane.
+func remDrop(rem []int32, j int32) []int32 {
+	lo, hi := 0, len(rem)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rem[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return append(rem[:lo], rem[lo+1:]...)
 }
 
 func newRecvCache(p *Problem) recvCache {
@@ -300,6 +327,7 @@ func newRecvCache(p *Problem) recvCache {
 		cKey:       make([]float64, n),
 		cSnd:       make([]int32, n),
 		nq:         make([]int32, n),
+		rem:        remInit(make([]int32, 0, n), n, p.Root),
 		lastI:      -1,
 	}
 	rc.joined = append(rc.joined, int32(p.Root))
@@ -319,10 +347,7 @@ func newRecvCache(p *Problem) recvCache {
 func (rc *recvCache) sync(p *Problem, s *state) {
 	for _, i := range rc.joined[rc.csync:] {
 		av, row := s.avail[i], p.W[i]
-		for j := 0; j < p.N; j++ {
-			if s.inA[j] {
-				continue
-			}
+		for _, j := range rc.rem {
 			key := av + row[j]
 			if key < rc.cKey[j] || (key == rc.cKey[j] && i < rc.cSnd[j]) {
 				rc.cKey[j], rc.cSnd[j] = key, i
@@ -331,9 +356,9 @@ func (rc *recvCache) sync(p *Problem, s *state) {
 	}
 	rc.csync = len(rc.joined)
 	if rc.lastI >= 0 {
-		for j := 0; j < p.N; j++ {
-			if !s.inA[j] && rc.cSnd[j] == rc.lastI {
-				rc.requery(p, s, j)
+		for _, j := range rc.rem {
+			if rc.cSnd[j] == rc.lastI {
+				rc.requery(p, s, int(j))
 			}
 		}
 	}
@@ -384,6 +409,7 @@ func (rc *recvCache) requery(p *Problem, s *state, j int) {
 func (rc *recvCache) commit(i, j int) {
 	rc.lastI = int32(i)
 	rc.joined = append(rc.joined, int32(j))
+	rc.rem = remDrop(rc.rem, int32(j))
 }
 
 // ---------------------------------------------------------------------------
@@ -553,22 +579,16 @@ func (e *ecefEngine) pick(p *Problem, s *state) (int, int) {
 	best := math.Inf(1)
 	bi, bj := -1, -1
 	if e.la == nil {
-		for j := 0; j < p.N; j++ {
-			if s.inA[j] {
-				continue
-			}
+		for _, j := range e.rc.rem {
 			if c := e.rc.cKey[j]; c < best {
-				best, bi, bj = c, int(e.rc.cSnd[j]), j
+				best, bi, bj = c, int(e.rc.cSnd[j]), int(j)
 			}
 		}
 	} else {
-		for j := 0; j < p.N; j++ {
-			if s.inA[j] {
-				continue
-			}
-			e.refresh(j, s.inA)
+		for _, j := range e.rc.rem {
+			e.refresh(int(j), s.inA)
 			if c := e.rc.cKey[j] + e.fVal[j]; c < best {
-				best, bi, bj = c, int(e.rc.cSnd[j]), j
+				best, bi, bj = c, int(e.rc.cSnd[j]), int(j)
 			}
 		}
 	}
@@ -591,12 +611,9 @@ func (e *buEngine) pick(p *Problem, s *state) (int, int) {
 	e.rc.sync(p, s)
 	worst := math.Inf(-1)
 	bi, bj := -1, -1
-	for j := 0; j < p.N; j++ {
-		if s.inA[j] {
-			continue
-		}
+	for _, j := range e.rc.rem {
 		if c := e.rc.cKey[j] + p.T[j]; c > worst {
-			worst, bi, bj = c, int(e.rc.cSnd[j]), j
+			worst, bi, bj = c, int(e.rc.cSnd[j]), int(j)
 		}
 	}
 	e.rc.commit(bi, bj)

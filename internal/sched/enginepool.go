@@ -25,6 +25,14 @@ import "math"
 // A pool is NOT safe for concurrent use: sweeps that parallelise across
 // goroutines use one pool per worker (see internal/experiment).
 type EnginePool struct {
+	// Scan, when non-nil, chunks every shardable per-round scan across the
+	// builder's work-stealing pool (parallel.go) — including the segmented
+	// and pipelined constructions, which have no other parallel entry
+	// point. The produced schedules are bit-identical with or without it;
+	// only construction latency changes. Like the pool itself, the field is
+	// not synchronised: set it before handing the pool to a worker.
+	Scan *ParallelBuilder
+
 	n int // current buffer dimension (0 = nothing allocated)
 
 	// Shared receiver cache for the ECEF-family and BottomUp engines.
@@ -39,6 +47,7 @@ type EnginePool struct {
 	fefCW    []float64
 	fefCSnd  []int32
 	fefFresh []int32
+	fefRem   []int32
 
 	// Segmented-engine buffers (allocated on first segmented schedule).
 	segN        int
@@ -114,19 +123,28 @@ func (ep *EnginePool) Schedule(h Heuristic, p *Problem) *Schedule {
 		return run(&flatEngine{d: 1}, p)
 	case FEF:
 		ep.ensure(p.N)
-		return run(ep.fefFor(hh, p), p)
+		return run(ep.scanPolicy(ep.fefFor(hh, p)), p)
 	case ecef:
 		ep.ensure(p.N)
-		return run(ep.ecefFor(hh, p), p)
+		return run(ep.scanPolicy(ep.ecefFor(hh, p)), p)
 	case BottomUp:
 		ep.ensure(p.N)
-		return run(ep.buFor(p), p)
+		return run(ep.scanPolicy(ep.buFor(p)), p)
 	case Mixed:
 		sc := ep.Schedule(hh.inner(p), p)
 		sc.Heuristic = hh.Name()
 		return sc
 	}
 	return h.Schedule(p)
+}
+
+// scanPolicy routes a shardable engine through the Scan pool when one is
+// attached; the sequential engine otherwise.
+func (ep *EnginePool) scanPolicy(sc parallelScanner) policy {
+	if ep.Scan != nil && ep.Scan.workers > 1 {
+		return &parallelPolicy{pb: ep.Scan, sc: sc}
+	}
+	return sc
 }
 
 // ensure sizes the pooled buffers for n clusters.
@@ -142,10 +160,12 @@ func (ep *EnginePool) ensure(n int) {
 		cKey:       make([]float64, n),
 		cSnd:       make([]int32, n),
 		nq:         make([]int32, n),
+		rem:        make([]int32, 0, n),
 	}
 	ep.fefCW = make([]float64, n)
 	ep.fefCSnd = make([]int32, n)
 	ep.fefFresh = make([]int32, 0, n)
+	ep.fefRem = make([]int32, 0, n)
 	ep.laBacking = make([]laEntry, n*n)
 	ep.laHeaps = make([]laHeap, n)
 	ep.fVal = make([]float64, n)
@@ -166,6 +186,7 @@ func (ep *EnginePool) resetRecvCache(p *Problem) {
 		rc.cSnd[j] = -1
 	}
 	rc.joined = append(rc.joined[:0], int32(p.Root))
+	rc.rem = remInit(rc.rem, p.N, p.Root)
 	rc.csync = 0
 	rc.lastI = -1
 }
@@ -179,6 +200,7 @@ func (ep *EnginePool) fefFor(h FEF, p *Problem) *fefEngine {
 		e.cSnd[j] = -1
 	}
 	e.fresh = append(ep.fefFresh[:0], int32(p.Root))
+	e.rem = remInit(ep.fefRem, p.N, p.Root)
 	return e
 }
 
@@ -279,6 +301,9 @@ func (ep *EnginePool) scheduleSegmentedOnce(h Heuristic, sp *SegmentedProblem) *
 	default:
 		return scheduleSegmentedOnce(h, sp)
 	}
+	if ep.Scan != nil {
+		pol = ep.Scan.segPolicyFor(pol)
+	}
 	ss := runSegmented(pol, sp)
 	ss.Heuristic = h.Name()
 	return ss
@@ -302,6 +327,8 @@ func (ep *EnginePool) ensureSeg(sp *SegmentedProblem) {
 			cKey:       make([]float64, n),
 			cSnd:       make([]int32, n),
 			nq:         make([]int32, n),
+			rem:        make([]int32, 0, n),
+			last:       make([]float64, n),
 		}
 	}
 	tr := ep.transposesFor(sp)

@@ -697,9 +697,13 @@ func (rp *replayer) warmEngine(p *Problem, s *state) *ecefEngine {
 		nq:         make([]int32, n),
 		lastI:      -1,
 	}
+	e.rc.rem = make([]int32, 0, n)
 	for j := 0; j < n; j++ {
 		e.rc.cKey[j] = math.Inf(1)
 		e.rc.cSnd[j] = -1
+		if !s.inA[j] {
+			e.rc.rem = append(e.rc.rem, int32(j))
+		}
 	}
 	if rp.h.kind != laNone {
 		ls := &e.lookaheadSet

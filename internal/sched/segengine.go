@@ -122,8 +122,16 @@ type segRecvCache struct {
 	cKey       []float64 // cached minimal cost(i, j) for receiver j
 	cSnd       []int32   // sender attaining cKey[j]
 	nq         []int32   // flat requeries spent per receiver
-	csync      int       // prefix of joined already compared against caches
-	lastI      int32     // sender of the previous round (-1 before round 0)
+	// rem is the SoA lane of receivers still outside A, ascending — the
+	// same contiguous scan lane as recvCache.rem.
+	rem []int32
+	// last[i] caches segAt[i][K-1], which is fixed from the moment sender i
+	// joins A; scans read this contiguous lane instead of chasing the
+	// per-sender segment-time row. Filled by cacheLast before a sender's
+	// first scan.
+	last  []float64
+	csync int   // prefix of joined already compared against caches
+	lastI int32 // sender of the previous round (-1 before round 0)
 }
 
 // transposeInto fills dst (n rows of n, allocating when nil) with src^T.
@@ -153,6 +161,8 @@ func newSegRecvCache(sp *SegmentedProblem) segRecvCache {
 		cKey:       make([]float64, n),
 		cSnd:       make([]int32, n),
 		nq:         make([]int32, n),
+		rem:        make([]int32, 0, n),
+		last:       make([]float64, n),
 	}
 	rc.reset(sp)
 	return rc
@@ -182,15 +192,28 @@ func (rc *segRecvCache) resetWith(sp *SegmentedProblem, gsT, wlT [][]float64) {
 		rc.cSnd[j] = -1
 	}
 	rc.joined = append(rc.joined[:0], int32(sp.Root))
+	rc.rem = remInit(rc.rem, sp.N, sp.Root)
 	rc.csync = 0
 	rc.lastI = -1
+}
+
+// cacheLast fills the last lane for senders that joined since the previous
+// round. It must run single-threaded before any scan of the round — the
+// sequential sync calls it first, the parallel fan-out calls it from the
+// coordinator before dispatching shards (shards reading a lane concurrently
+// written would race).
+func (rc *segRecvCache) cacheLast(st *segState) {
+	k1 := rc.sp.K - 1
+	for _, i := range rc.joined[rc.csync:] {
+		rc.last[i] = st.segAt[i][k1]
+	}
 }
 
 // keyOf computes the current cost of a heap entry with the exact expression
 // order of the naive lastSegEstimate + Wl scan.
 func (rc *segRecvCache) keyOf(st *segState, e segSenderEntry) float64 {
 	key := st.busy[e.i] + rc.kg1*e.gs
-	if a := st.segAt[e.i][rc.sp.K-1]; a > key {
+	if a := rc.last[e.i]; a > key {
 		key = a
 	}
 	return key + e.wl
@@ -215,14 +238,12 @@ func (h *segSenderHeap) best(rc *segRecvCache, st *segState) segSenderEntry {
 // joined senders flat against every cached best, then requery the receivers
 // whose cached sender transmitted last round.
 func (rc *segRecvCache) sync(st *segState) {
+	rc.cacheLast(st)
 	sp := rc.sp
 	for _, i := range rc.joined[rc.csync:] {
 		busy, gsRow, wlRow := st.busy[i], sp.Gs[i], sp.Wl[i]
-		last := st.segAt[i][sp.K-1]
-		for j := 0; j < sp.N; j++ {
-			if st.inA[j] {
-				continue
-			}
+		last := rc.last[i]
+		for _, j := range rc.rem {
 			key := busy + rc.kg1*gsRow[j]
 			if last > key {
 				key = last
@@ -235,9 +256,9 @@ func (rc *segRecvCache) sync(st *segState) {
 	}
 	rc.csync = len(rc.joined)
 	if rc.lastI >= 0 {
-		for j := 0; j < sp.N; j++ {
-			if !st.inA[j] && rc.cSnd[j] == rc.lastI {
-				rc.requery(st, j)
+		for _, j := range rc.rem {
+			if rc.cSnd[j] == rc.lastI {
+				rc.requery(st, int(j))
 			}
 		}
 	}
@@ -253,7 +274,7 @@ func (rc *segRecvCache) requery(st *segState, j int) {
 		bk, bi := math.Inf(1), int32(-1)
 		for _, i := range rc.joined {
 			key := st.busy[i] + rc.kg1*gsCol[i]
-			if a := st.segAt[i][sp.K-1]; a > key {
+			if a := rc.last[i]; a > key {
 				key = a
 			}
 			key += wlCol[i]
@@ -294,6 +315,7 @@ func (rc *segRecvCache) requery(st *segState, j int) {
 func (rc *segRecvCache) commit(i, j int) {
 	rc.lastI = int32(i)
 	rc.joined = append(rc.joined, int32(j))
+	rc.rem = remDrop(rc.rem, int32(j))
 }
 
 // ---------------------------------------------------------------------------
@@ -322,22 +344,16 @@ func (e *segEcefEngine) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 	best := math.Inf(1)
 	bi, bj := -1, -1
 	if e.la == nil {
-		for j := 0; j < sp.N; j++ {
-			if st.inA[j] {
-				continue
-			}
+		for _, j := range e.rc.rem {
 			if c := e.rc.cKey[j]; c < best {
-				best, bi, bj = c, int(e.rc.cSnd[j]), j
+				best, bi, bj = c, int(e.rc.cSnd[j]), int(j)
 			}
 		}
 	} else {
-		for j := 0; j < sp.N; j++ {
-			if st.inA[j] {
-				continue
-			}
-			e.refresh(j, st.inA)
+		for _, j := range e.rc.rem {
+			e.refresh(int(j), st.inA)
 			if c := e.rc.cKey[j] + e.fVal[j]; c < best {
-				best, bi, bj = c, int(e.rc.cSnd[j]), j
+				best, bi, bj = c, int(e.rc.cSnd[j]), int(j)
 			}
 		}
 	}
@@ -362,12 +378,9 @@ func (e *segBuEngine) pickSeg(sp *SegmentedProblem, st *segState) (int, int) {
 	ts := sp.estT()
 	worst := math.Inf(-1)
 	bi, bj := -1, -1
-	for j := 0; j < sp.N; j++ {
-		if st.inA[j] {
-			continue
-		}
+	for _, j := range e.rc.rem {
 		if c := e.rc.cKey[j] + ts[j]; c > worst {
-			worst, bi, bj = c, int(e.rc.cSnd[j]), j
+			worst, bi, bj = c, int(e.rc.cSnd[j]), int(j)
 		}
 	}
 	e.rc.commit(bi, bj)

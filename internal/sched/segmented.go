@@ -283,24 +283,44 @@ func newSegState(sp *SegmentedProblem) *segState {
 // last-segment arrival.
 func (st *segState) transmit(sp *SegmentedProblem, i, j int) (start1, free, lastArrive float64) {
 	gs, gl, lat := sp.Gs[i][j], sp.Gl[i][j], sp.L[i][j]
-	src, dst := st.segAt[i], st.segAt[j]
-	for q := 0; q < sp.K; q++ {
-		g := gs
-		if q == sp.K-1 {
-			g = gl
-		}
-		s := st.busy[i]
-		if a := src[q]; a > s {
-			s = a
-		}
-		if q == 0 {
-			start1 = s
-		}
-		st.busy[i] = s + g
-		dst[q] = st.busy[i] + lat
+	k1 := sp.K - 1
+	src, dst := st.segAt[i][:k1+1], st.segAt[j][:k1+1]
+	b := st.busy[i]
+	if a := src[0]; a > b {
+		b = a
 	}
+	start1 = b
+	// src is non-decreasing (segments arrive in order) and the NIC time b
+	// only grows, so once b clears the last arrival the remaining max()es
+	// are no-ops: the tail loop drops the src loads and compares entirely.
+	// The arithmetic is identical on both paths — this is the hot inner
+	// loop of every segmented build (O(K) per event), pinned bit-identical
+	// by the engine equivalence tests.
+	last := src[k1]
+	q := 0
+	for ; q < k1; q++ {
+		if a := src[q]; a > b {
+			b = a
+		}
+		b += gs
+		dst[q] = b + lat
+		if b >= last {
+			q++
+			break
+		}
+	}
+	for ; q < k1; q++ {
+		b += gs
+		dst[q] = b + lat
+	}
+	if last > b {
+		b = last
+	}
+	b += gl
+	st.busy[i] = b
+	dst[k1] = b + lat
 	st.sent[i] = true
-	return start1, st.busy[i], dst[sp.K-1]
+	return start1, b, dst[k1]
 }
 
 // segPolicy picks the next (sender, receiver) pair under segmented costs.

@@ -7,8 +7,8 @@ import (
 
 func TestRecvUntilDelivered(t *testing.T) {
 	e := New()
-	c := NewChan(e)
-	var got any
+	c := NewChan[string](e)
+	var got string
 	var ok bool
 	e.Process("r", func(p *Proc) {
 		got, ok = c.RecvUntil(p, 5.0)
@@ -28,7 +28,7 @@ func TestRecvUntilDelivered(t *testing.T) {
 
 func TestRecvUntilTimesOut(t *testing.T) {
 	e := New()
-	c := NewChan(e)
+	c := NewChan[int](e)
 	var ok bool
 	var at float64
 	e.Process("r", func(p *Proc) {
@@ -51,7 +51,7 @@ func TestRecvUntilLateMessageStaysBuffered(t *testing.T) {
 	// A message delivered after the deadline must not vanish: the next
 	// receive picks it up.
 	e := New()
-	c := NewChan(e)
+	c := NewChan[int](e)
 	var first, second bool
 	e.Process("r", func(p *Proc) {
 		_, first = c.RecvUntil(p, 1.0)
@@ -75,9 +75,9 @@ func TestRecvUntilStaleTimerIsHarmless(t *testing.T) {
 	// later while the process is blocked in an ordinary Recv and must not
 	// disturb it.
 	e := New()
-	c := NewChan(e)
+	c := NewChan[string](e)
 	var timedOut bool
-	var last any
+	var last string
 	e.Process("r", func(p *Proc) {
 		_, ok := c.RecvUntil(p, 5.0)
 		timedOut = !ok
@@ -103,7 +103,7 @@ func TestRecvUntilStaleTimerIsHarmless(t *testing.T) {
 
 func TestKillUnblocksAndDropsProcess(t *testing.T) {
 	e := New()
-	c := NewChan(e)
+	c := NewChan[int](e)
 	reached := false
 	victim := e.Process("victim", func(p *Proc) {
 		c.Recv(p)
@@ -128,8 +128,8 @@ func TestKillDeadWaiterDoesNotStrandMessages(t *testing.T) {
 	// Two processes wait on one channel; the first is killed. A delivery
 	// must wake the surviving waiter, not be consumed by the corpse.
 	e := New()
-	c := NewChan(e)
-	var got any
+	c := NewChan[string](e)
+	var got string
 	first := e.Process("first", func(p *Proc) {
 		c.Recv(p)
 		t.Error("dead waiter received a message")

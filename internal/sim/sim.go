@@ -33,6 +33,15 @@ const (
 	evDeliver
 )
 
+// deliverTarget is the kernel-facing face of a Chan[T]: delayed sends park
+// their payload in the channel's own typed arena and the queue carries only
+// the (target, slot) pair. Storing a *Chan[T] in this interface field moves
+// a pointer, not a value — no payload ever passes through an `any` box on
+// the way into or out of the event queue.
+type deliverTarget interface {
+	deliverSlot(slot int32)
+}
+
 // event is one scheduled kernel action: a tagged union stored by value in
 // the queue. The queue's backing array acts as the event pool — slots are
 // recycled in place as events are popped and pushed, so steady-state
@@ -41,10 +50,10 @@ type event struct {
 	time float64
 	seq  int64
 	kind uint8
-	proc *Proc  // evResume target
-	ch   *Chan  // evDeliver target
-	msg  any    // evDeliver payload
-	fn   func() // evFunc body
+	slot int32         // evDeliver payload slot in ch's arena
+	proc *Proc         // evResume target
+	ch   deliverTarget // evDeliver target
+	fn   func()        // evFunc body
 }
 
 // eventQueue is a hand-rolled binary min-heap of value-typed events ordered
@@ -142,11 +151,11 @@ func (e *Env) scheduleResume(delay float64, p *Proc) {
 	e.queue.push(event{time: e.now + delay, seq: e.seq, kind: evResume, proc: p})
 }
 
-// scheduleDeliver schedules the delivery of msg on ch at now+delay without
-// allocating a closure.
-func (e *Env) scheduleDeliver(delay float64, ch *Chan, msg any) {
+// scheduleDeliver schedules the delivery of ch's staged slot at now+delay
+// without allocating a closure or boxing the payload.
+func (e *Env) scheduleDeliver(delay float64, ch deliverTarget, slot int32) {
 	e.seq++
-	e.queue.push(event{time: e.now + delay, seq: e.seq, kind: evDeliver, ch: ch, msg: msg})
+	e.queue.push(event{time: e.now + delay, seq: e.seq, kind: evDeliver, ch: ch, slot: slot})
 }
 
 // Proc is a simulated process. Its function runs in a dedicated goroutine
@@ -245,7 +254,7 @@ func (e *Env) RunUntil(limit float64) float64 {
 		case evResume:
 			e.transfer(ev.proc, true)
 		case evDeliver:
-			ev.ch.deliver(ev.msg)
+			ev.ch.deliverSlot(ev.slot)
 		default:
 			ev.fn()
 		}
@@ -276,7 +285,7 @@ func (e *Env) RunCtx(ctx context.Context, every int) (float64, error) {
 			case evResume:
 				e.transfer(ev.proc, true)
 			case evDeliver:
-				ev.ch.deliver(ev.msg)
+				ev.ch.deliverSlot(ev.slot)
 			default:
 				ev.fn()
 			}
@@ -304,37 +313,88 @@ func (e *Env) Shutdown() {
 	}
 }
 
-// Chan is an unbounded FIFO message channel between processes. Sends never
-// block; Recv blocks the calling process until a message is available.
-type Chan struct {
-	env     *Env
-	buf     []any
+// Chan is an unbounded FIFO message channel between processes carrying
+// payloads of a single static type. Sends never block; Recv blocks the
+// calling process until a message is available.
+//
+// No payload is ever boxed: the buffer is a typed deque, and delayed sends
+// (SendAfter) park their payload in the channel's typed staging arena with
+// only the slot index travelling through the kernel's event queue. Code
+// that genuinely needs heterogeneous payloads (a protocol multiplexing
+// message kinds) should carry an envelope struct whose payload field is
+// `any` — that keeps the boxing at the edge that needs it, off the kernel
+// hot path (internal/vnet's Message is the canonical example).
+type Chan[T any] struct {
+	env *Env
+	// buf[head:] are the undelivered messages; popping advances head instead
+	// of re-slicing so the backing array keeps its capacity, and a full drain
+	// rewinds to the front. Steady-state traffic therefore buffers without
+	// allocating.
+	buf     []T
+	head    int
 	waiters []*Proc
+	// staged/free are the slot arena for in-flight SendAfter payloads:
+	// deliveries may unqueue out of order (different delays), so slots are
+	// addressed, recycled through a free list, and never boxed.
+	staged []T
+	free   []int32
 }
 
-// NewChan creates a channel on e.
-func NewChan(e *Env) *Chan { return &Chan{env: e} }
+// NewChan creates a channel on e. The payload type cannot be inferred from
+// the arguments, so call sites name it: NewChan[*Message](env).
+func NewChan[T any](e *Env) *Chan[T] { return &Chan[T]{env: e} }
 
 // Len returns the number of buffered messages.
-func (c *Chan) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.head }
 
 // Send delivers v immediately (at the current virtual time).
-func (c *Chan) Send(v any) { c.deliver(v) }
+func (c *Chan[T]) Send(v T) { c.deliver(v) }
 
 // SendAfter delivers v after d seconds of virtual time; the caller is not
 // blocked. This is the primitive network links use for latency.
-func (c *Chan) SendAfter(d float64, v any) {
+func (c *Chan[T]) SendAfter(d float64, v T) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
 	}
-	c.env.scheduleDeliver(d, c, v)
+	c.env.scheduleDeliver(d, c, c.stage(v))
 }
 
-func (c *Chan) deliver(v any) {
+// stage parks v in the arena and returns its slot.
+func (c *Chan[T]) stage(v T) int32 {
+	if n := len(c.free); n > 0 {
+		s := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.staged[s] = v
+		return s
+	}
+	c.staged = append(c.staged, v)
+	return int32(len(c.staged) - 1)
+}
+
+// deliverSlot (deliverTarget) completes a SendAfter: it frees the slot and
+// delivers its payload.
+func (c *Chan[T]) deliverSlot(slot int32) {
+	v := c.staged[slot]
+	var zero T
+	c.staged[slot] = zero // drop the reference held by the vacated slot
+	c.free = append(c.free, slot)
+	c.deliver(v)
+}
+
+func (c *Chan[T]) deliver(v T) {
+	if c.head > 32 && 2*c.head >= len(c.buf) {
+		// The drained prefix dominates the buffer; compact in place so a
+		// never-empty channel cannot grow its backing array unboundedly.
+		n := copy(c.buf, c.buf[c.head:])
+		clear(c.buf[n:])
+		c.buf = c.buf[:n]
+		c.head = 0
+	}
 	c.buf = append(c.buf, v)
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
 		if w.done {
 			// The waiter was killed while blocked; wake the next one so a
 			// buffered message is never stranded behind a dead process.
@@ -345,27 +405,40 @@ func (c *Chan) deliver(v any) {
 	}
 }
 
+// popFront removes and returns the oldest buffered message, preserving the
+// backing array's capacity.
+func (c *Chan[T]) popFront() T {
+	v := c.buf[c.head]
+	var zero T
+	c.buf[c.head] = zero // drop the reference held by the vacated slot
+	c.head++
+	if c.head == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.head = 0
+	}
+	return v
+}
+
 // Recv blocks p until a message is available and returns it.
-func (c *Chan) Recv(p *Proc) any {
-	for len(c.buf) == 0 {
+func (c *Chan[T]) Recv(p *Proc) T {
+	for c.Len() == 0 {
 		c.waiters = append(c.waiters, p)
 		p.waitSeq++
 		p.block()
 	}
-	v := c.buf[0]
-	c.buf = c.buf[1:]
-	return v
+	return c.popFront()
 }
 
 // RecvUntil is Recv with a virtual-time deadline: it returns (msg, true)
 // when a message is available strictly before the deadline passes with an
-// empty buffer, and (nil, false) at the deadline otherwise. The failure-
+// empty buffer, and (zero, false) at the deadline otherwise. The failure-
 // aware MPI executor derives its per-receive deadlines from the analytic
 // schedule and calls this instead of Recv.
-func (c *Chan) RecvUntil(p *Proc, deadline float64) (any, bool) {
-	for len(c.buf) == 0 {
+func (c *Chan[T]) RecvUntil(p *Proc, deadline float64) (T, bool) {
+	for c.Len() == 0 {
 		if deadline <= c.env.now {
-			return nil, false
+			var zero T
+			return zero, false
 		}
 		c.waiters = append(c.waiters, p)
 		p.waitSeq++
@@ -387,7 +460,5 @@ func (c *Chan) RecvUntil(p *Proc, deadline float64) (any, bool) {
 		})
 		p.block()
 	}
-	v := c.buf[0]
-	c.buf = c.buf[1:]
-	return v, true
+	return c.popFront(), true
 }

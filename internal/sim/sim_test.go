@@ -87,8 +87,8 @@ func TestRunUntilStopsEarly(t *testing.T) {
 
 func TestChanSendRecv(t *testing.T) {
 	e := New()
-	ch := NewChan(e)
-	var got any
+	ch := NewChan[string](e)
+	var got string
 	var at float64
 	e.Process("recv", func(p *Proc) {
 		got = ch.Recv(p)
@@ -106,7 +106,7 @@ func TestChanSendRecv(t *testing.T) {
 
 func TestChanSendAfter(t *testing.T) {
 	e := New()
-	ch := NewChan(e)
+	ch := NewChan[int](e)
 	var at float64
 	e.Process("recv", func(p *Proc) {
 		ch.Recv(p)
@@ -127,7 +127,7 @@ func TestChanSendAfter(t *testing.T) {
 
 func TestChanBuffersAheadOfReceiver(t *testing.T) {
 	e := New()
-	ch := NewChan(e)
+	ch := NewChan[int](e)
 	var got []int
 	e.Process("send", func(p *Proc) {
 		ch.Send(1)
@@ -137,7 +137,7 @@ func TestChanBuffersAheadOfReceiver(t *testing.T) {
 	e.Process("recv", func(p *Proc) {
 		p.Wait(5)
 		for i := 0; i < 3; i++ {
-			got = append(got, ch.Recv(p).(int))
+			got = append(got, ch.Recv(p))
 		}
 	})
 	e.Run()
@@ -151,7 +151,7 @@ func TestChanBuffersAheadOfReceiver(t *testing.T) {
 
 func TestTwoWaitersFIFO(t *testing.T) {
 	e := New()
-	ch := NewChan(e)
+	ch := NewChan[int](e)
 	var order []string
 	waiter := func(name string) {
 		e.Process(name, func(p *Proc) {
@@ -175,7 +175,7 @@ func TestTwoWaitersFIFO(t *testing.T) {
 
 func TestShutdownKillsBlockedProcesses(t *testing.T) {
 	e := New()
-	ch := NewChan(e)
+	ch := NewChan[int](e)
 	e.Process("stuck-recv", func(p *Proc) { ch.Recv(p) })
 	e.Process("stuck-early", func(p *Proc) { p.Wait(1); ch.Recv(p) })
 	e.Run()
@@ -246,7 +246,7 @@ func TestManyProcessesStress(t *testing.T) {
 	const n = 1000
 	var count atomic.Int64
 	var finish []float64
-	done := NewChan(e)
+	done := NewChan[float64](e)
 	for i := 0; i < n; i++ {
 		d := float64(i%17) * 0.1
 		e.Process("w", func(p *Proc) {
@@ -257,7 +257,7 @@ func TestManyProcessesStress(t *testing.T) {
 	}
 	e.Process("collector", func(p *Proc) {
 		for i := 0; i < n; i++ {
-			finish = append(finish, done.Recv(p).(float64))
+			finish = append(finish, done.Recv(p))
 		}
 	})
 	e.Run()
@@ -276,7 +276,7 @@ func TestPingPongVirtualTime(t *testing.T) {
 	// Two processes exchange k round trips with latency l each way; total
 	// virtual time must be exactly 2*k*l.
 	e := New()
-	a2b, b2a := NewChan(e), NewChan(e)
+	a2b, b2a := NewChan[int](e), NewChan[int](e)
 	const k, l = 10, 0.025
 	e.Process("a", func(p *Proc) {
 		for i := 0; i < k; i++ {

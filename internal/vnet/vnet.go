@@ -82,9 +82,12 @@ func (c Config) Validate(n int) error {
 // senders into one gather coordinator) see the receiver bottleneck a real
 // single-port NIC has.
 type Network struct {
-	env   *sim.Env
-	link  func(from, to int) plogp.Params
-	inbox []*sim.Chan
+	env  *sim.Env
+	link func(from, to int) plogp.Params
+	// inbox channels are typed on the envelope: Message itself is the
+	// heterogeneity shim (its Payload field is `any`), so the kernel moves
+	// only *Message pointers and never boxes.
+	inbox []*sim.Chan[*Message]
 	// pending holds messages pulled from the inbox while looking for a
 	// match (RecvMatch).
 	pending [][]*Message
@@ -115,7 +118,7 @@ func New(env *sim.Env, n int, link func(from, to int) plogp.Params, cfg Config) 
 	nw := &Network{
 		env:           env,
 		link:          link,
-		inbox:         make([]*sim.Chan, n),
+		inbox:         make([]*sim.Chan[*Message], n),
 		pending:       make([][]*Message, n),
 		lastDelivered: make([]float64, n),
 		cfg:           cfg,
@@ -134,7 +137,7 @@ func New(env *sim.Env, n int, link func(from, to int) plogp.Params, cfg Config) 
 		nw.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	for i := range nw.inbox {
-		nw.inbox[i] = sim.NewChan(env)
+		nw.inbox[i] = sim.NewChan[*Message](env)
 	}
 	if cfg.Faults != nil {
 		for _, cr := range cfg.Faults.Crashes {
@@ -267,11 +270,10 @@ func (nw *Network) RecvMatchUntil(p *sim.Proc, node int, deadline float64, match
 		}
 	}
 	for {
-		v, ok := nw.inbox[node].RecvUntil(p, deadline)
+		m, ok := nw.inbox[node].RecvUntil(p, deadline)
 		if !ok {
 			return nil, false
 		}
-		m := v.(*Message)
 		if match(m) {
 			return m, true
 		}
@@ -280,5 +282,5 @@ func (nw *Network) RecvMatchUntil(p *sim.Proc, node int, deadline float64, match
 }
 
 func (nw *Network) take(p *sim.Proc, node int) *Message {
-	return nw.inbox[node].Recv(p).(*Message)
+	return nw.inbox[node].Recv(p)
 }

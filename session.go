@@ -60,6 +60,24 @@ func returnScanBuilder(pb *sched.ParallelBuilder) {
 	scanBuilderPool(pb.Workers()).Put(pb)
 }
 
+// scanBuilderFor resolves a request's WithScanWorkers setting to a checked-
+// out builder, or nil when the request keeps the sequential engine (unset,
+// explicit 1, or a resolved GOMAXPROCS of 1). Callers must return non-nil
+// builders with returnScanBuilder.
+func scanBuilderFor(req Request) *sched.ParallelBuilder {
+	if !req.scanSet || req.scanWorkers == 1 {
+		return nil
+	}
+	workers := req.scanWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return nil
+	}
+	return checkoutScanBuilder(workers)
+}
+
 // Session binds a platform to everything needed to plan and execute
 // broadcasts on it: the grid's per-message-size EdgeCosts caches warm up on
 // first use and are shared by subsequent plans, and schedule construction
@@ -256,8 +274,9 @@ func WithSegmentedLocal() Option { return func(r *Request) { r.segLocal = true }
 // per-round candidate scans are sharded across w goroutines (w <= 0 means
 // GOMAXPROCS; 1 means the sequential engine). The schedule is bit-identical
 // at any worker count — only construction latency changes, which pays off
-// from a few hundred clusters up. Segmented requests ignore it (their
-// incremental engine is not sharded yet).
+// from a few hundred clusters up. Segmented and pipelined requests shard
+// their per-round scans through the same worker pool (one pool serves
+// every rung of the pipelined ladder).
 func WithScanWorkers(w int) Option {
 	return func(r *Request) { r.scanWorkers = w; r.scanSet = true }
 }
@@ -634,6 +653,10 @@ func (s *Session) planUncached(req Request) (*Plan, error) {
 func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristic, req Request, p *sched.Problem, sp *sched.SegmentedProblem) (sc *Schedule, ss *SegmentedSchedule, tr *sched.BuildTrace, built int, err error) {
 	switch {
 	case req.pipelined:
+		if pb := scanBuilderFor(req); pb != nil {
+			ep.Scan = pb
+			defer func() { ep.Scan = nil; returnScanBuilder(pb) }()
+		}
 		opt := sched.Options{Overlap: req.overlap, SegmentedLocal: req.segLocal}
 		ladder := sched.DefaultSegmentLadder(req.size)
 		ss, err = sched.Pipelined{Base: h, Ladder: ladder}.BestContext(ctx, ep, s.g, req.root, req.size, opt)
@@ -642,14 +665,13 @@ func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristi
 		}
 		return nil, ss, nil, len(ladder), nil
 	case req.segmented:
+		if pb := scanBuilderFor(req); pb != nil {
+			ep.Scan = pb
+			defer func() { ep.Scan = nil; returnScanBuilder(pb) }()
+		}
 		return nil, ep.ScheduleSegmented(h, sp), nil, 1, nil
 	default:
-		if req.scanSet && req.scanWorkers != 1 {
-			workers := req.scanWorkers
-			if workers <= 0 {
-				workers = runtime.GOMAXPROCS(0)
-			}
-			pb := checkoutScanBuilder(workers)
+		if pb := scanBuilderFor(req); pb != nil {
 			sc = pb.Schedule(h, p)
 			returnScanBuilder(pb)
 		} else if req.replan && req.heuristic != nil && !req.refineSet {
@@ -672,7 +694,10 @@ func (s *Session) buildOne(ctx context.Context, ep *sched.EnginePool, h Heuristi
 }
 
 // PlanBatch plans every request against the session, fanning the work
-// across up to GOMAXPROCS goroutines sharing the engine pool. plans[i]
+// across up to GOMAXPROCS goroutines sharing the engine pool. Workers
+// claim slots by atomically incrementing a shared cursor rather than by
+// fixed stripes, so one expensive request (a pipelined ladder next to flat
+// plans, say) never idles the rest of a stripe behind it. plans[i]
 // corresponds to reqs[i], and both the slice and every plan in it are
 // identical at any worker count: each slot is computed independently and
 // written exactly once, the ordered-fold determinism pattern of the
@@ -697,14 +722,19 @@ func (s *Session) PlanBatch(reqs []Request) ([]*Plan, error) {
 		}
 	} else {
 		var wg sync.WaitGroup
+		var next atomic.Int64
 		for w := 0; w < nw; w++ {
 			wg.Add(1)
-			go func(w int) {
+			go func() {
 				defer wg.Done()
-				for i := w; i < len(reqs); i += nw {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(reqs) {
+						return
+					}
 					plans[i], errs[i] = s.Plan(reqs[i])
 				}
-			}(w)
+			}()
 		}
 		wg.Wait()
 	}
